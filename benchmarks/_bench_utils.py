@@ -1,0 +1,16 @@
+"""Helpers shared by the benchmark modules (kept outside conftest so they
+can be imported explicitly without relying on pytest's conftest path
+injection)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs import random_features
+
+__all__ = ["features_for"]
+
+
+def features_for(graph, d: int, seed: int = 0) -> np.ndarray:
+    """Random single-precision features sized for ``graph``."""
+    return random_features(graph.num_vertices, d, seed=seed)

@@ -1,0 +1,37 @@
+"""Benchmark for the Section V.D accuracy experiment.
+
+Times the full train-and-evaluate pipeline (Force2Vec + logistic-regression
+F1) on the Cora twin with the fused backend, and asserts the fused and
+unfused backends produce embeddings of the same quality — the actual claim
+of Section V.D.  The full table is printed by
+``python -m repro.experiments.accuracy_f1``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import accuracy_f1
+
+
+def bench_accuracy_cora_fused_pipeline(benchmark):
+    """End-to-end accuracy pipeline (short training budget) on Cora."""
+    benchmark.group = "accuracy-cora"
+    rows = benchmark.pedantic(
+        lambda: accuracy_f1.run(graphs=("cora",), backends=("fused",), epochs=5, dim=32),
+        rounds=1,
+        iterations=1,
+    )
+    assert rows and 0.0 <= rows[0]["f1_micro"] <= 1.0
+
+
+def bench_accuracy_cora_backend_parity(benchmark):
+    """Fused and unfused backends reach the same F1 from the same seed."""
+    benchmark.group = "accuracy-cora"
+
+    def run_both():
+        return accuracy_f1.run(
+            graphs=("cora",), backends=("fused", "unfused"), epochs=3, dim=32
+        )
+
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    by_backend = {row["backend"]: row["f1_micro"] for row in rows}
+    assert abs(by_backend["fused"] - by_backend["unfused"]) < 0.05

@@ -1,0 +1,63 @@
+"""Benchmarks regenerating Fig. 11 — sensitivity to degree and dimension.
+
+Fig. 11(a): DGL vs FusedMM on RMAT graphs of increasing average degree.
+Fig. 11(b): DGL vs FusedMM on the Flickr twin with increasing dimension.
+Each (graph/degree, dimension) pair forms one benchmark group whose two
+members are the unfused baseline and the fused kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import unfused_fusedmm
+from repro.core import fusedmm
+from repro.graphs import random_features, rmat
+
+from _bench_utils import features_for
+
+DEGREES = [4, 16, 64]
+DIMS = [64, 256]
+RMAT_VERTICES = 8000
+
+
+@pytest.fixture(scope="module", params=DEGREES)
+def rmat_graph(request):
+    """RMAT graph of the degree sweep (scaled-down Fig. 11a workload)."""
+    degree = request.param
+    A = rmat(RMAT_VERTICES, int(RMAT_VERTICES * degree / 2), seed=degree)
+    return degree, A
+
+
+def bench_fig11a_dgl(benchmark, rmat_graph):
+    """Unfused baseline on an RMAT graph (embedding pattern, d=128)."""
+    degree, A = rmat_graph
+    X = random_features(A.nrows, 128, seed=0)
+    benchmark.group = f"fig11a-rmat-deg{degree}-d128"
+    benchmark(lambda: unfused_fusedmm(A, X, X, pattern="sigmoid_embedding"))
+
+
+def bench_fig11a_fusedmm(benchmark, rmat_graph):
+    """FusedMM on an RMAT graph (embedding pattern, d=128)."""
+    degree, A = rmat_graph
+    X = random_features(A.nrows, 128, seed=0)
+    benchmark.group = f"fig11a-rmat-deg{degree}-d128"
+    benchmark(lambda: fusedmm(A, X, X, pattern="sigmoid_embedding", backend="auto"))
+
+
+@pytest.mark.parametrize("d", DIMS)
+def bench_fig11b_dgl_flickr(benchmark, flickr_graph, d):
+    """Unfused baseline on the Flickr twin across dimensions."""
+    A = flickr_graph.adjacency
+    X = features_for(flickr_graph, d)
+    benchmark.group = f"fig11b-flickr-d{d}"
+    benchmark(lambda: unfused_fusedmm(A, X, X, pattern="sigmoid_embedding"))
+
+
+@pytest.mark.parametrize("d", DIMS)
+def bench_fig11b_fusedmm_flickr(benchmark, flickr_graph, d):
+    """FusedMM on the Flickr twin across dimensions."""
+    A = flickr_graph.adjacency
+    X = features_for(flickr_graph, d)
+    benchmark.group = f"fig11b-flickr-d{d}"
+    benchmark(lambda: fusedmm(A, X, X, pattern="sigmoid_embedding", backend="auto"))

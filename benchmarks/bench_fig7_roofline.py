@@ -1,0 +1,34 @@
+"""Benchmark regenerating Fig. 7 — the roofline data points.
+
+The benchmarked quantity is the optimized embedding kernel whose attained
+GFLOP/s (flop model / measured time) is the y-coordinate of each roofline
+point; the arithmetic intensity and bandwidth roof are computed by the
+experiment module and printed by ``python -m repro.experiments.fig7_roofline``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import fusedmm
+from repro.perf import arithmetic_intensity, measure_stream_bandwidth
+
+from _bench_utils import features_for
+
+
+@pytest.mark.parametrize("graph_fixture", ["ogbprot_graph", "youtube_graph", "orkut_graph"])
+def bench_fig7_embedding_kernel(benchmark, request, graph_fixture):
+    """Optimized embedding kernel (d=128) for each roofline graph."""
+    graph = request.getfixturevalue(graph_fixture)
+    A = graph.adjacency
+    X = features_for(graph, 128)
+    benchmark.group = "fig7-roofline-kernel-d128"
+    benchmark.extra_info["arithmetic_intensity"] = round(arithmetic_intensity(A, 128), 3)
+    benchmark(lambda: fusedmm(A, X, X, pattern="sigmoid_embedding", backend="auto"))
+
+
+def bench_fig7_stream_bandwidth(benchmark):
+    """STREAM-triad bandwidth measurement that sets the roofline slope."""
+    benchmark.group = "fig7-roofline-bandwidth"
+    gbs = benchmark.pedantic(lambda: measure_stream_bandwidth(32.0, repeats=1), rounds=3, iterations=1)
+    assert gbs > 0

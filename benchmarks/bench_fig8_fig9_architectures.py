@@ -1,0 +1,68 @@
+"""Benchmarks regenerating Figs. 8 and 9 — cross-architecture comparisons.
+
+The measurable part on this host is the DGL-vs-FusedMM comparison per
+graph/application at d=128 (the per-architecture bars of the figures come
+from the calibrated machine model, which is pure arithmetic and is
+exercised by the test suite and the experiment modules).  Each group below
+therefore pairs the two kernels on one of the figures' graphs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import unfused_fusedmm
+from repro.core import fusedmm
+from repro.experiments import fig8_arm, fig9_amd
+from repro.graphs import load_dataset
+
+from _bench_utils import features_for
+
+GRAPHS = ["harvard", "flickr", "amazon"]
+APPS = [("fr", "fr_layout"), ("embedding", "sigmoid_embedding")]
+
+
+@pytest.fixture(scope="module", params=GRAPHS)
+def arch_graph(request, bench_scale):
+    """One of the Fig. 8/9 graphs at benchmark scale."""
+    return load_dataset(request.param, scale=bench_scale)
+
+
+@pytest.mark.parametrize("app,pattern", APPS, ids=[a for a, _ in APPS])
+def bench_fig8_fig9_dgl(benchmark, arch_graph, app, pattern):
+    """Unfused baseline on a Fig. 8/9 graph (d=128)."""
+    A = arch_graph.adjacency
+    X = features_for(arch_graph, 128)
+    benchmark.group = f"fig8-9-{arch_graph.name}-{app}-d128"
+    benchmark(lambda: unfused_fusedmm(A, X, X, pattern=pattern))
+
+
+@pytest.mark.parametrize("app,pattern", APPS, ids=[a for a, _ in APPS])
+def bench_fig8_fig9_fusedmm(benchmark, arch_graph, app, pattern):
+    """Optimized FusedMM on a Fig. 8/9 graph (d=128)."""
+    A = arch_graph.adjacency
+    X = features_for(arch_graph, 128)
+    benchmark.group = f"fig8-9-{arch_graph.name}-{app}-d128"
+    benchmark(lambda: fusedmm(A, X, X, pattern=pattern, backend="auto"))
+
+
+def bench_fig8_machine_model(benchmark, bench_scale):
+    """The ARM machine-model prediction pass (one graph, both apps)."""
+    benchmark.group = "fig8-9-machine-model"
+    rows = benchmark.pedantic(
+        lambda: fig8_arm.run(graphs=("amazon",), d=64, scale=bench_scale, repeats=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(row["model_speedup"] > 0 for row in rows)
+
+
+def bench_fig9_machine_model(benchmark, bench_scale):
+    """The AMD machine-model prediction pass (one graph, both apps)."""
+    benchmark.group = "fig8-9-machine-model"
+    rows = benchmark.pedantic(
+        lambda: fig9_amd.run(graphs=("amazon",), d=64, scale=bench_scale, repeats=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(row["model_speedup"] > 0 for row in rows)

@@ -1,0 +1,31 @@
+"""Benchmark regenerating Table V — dataset generation cost and statistics.
+
+Table V itself is a statistics table; the benchmark here times the synthetic
+dataset generation (the substitution for downloading the original graphs)
+and asserts the regenerated statistics are available.  The printable table
+comes from ``python -m repro.experiments.table5_datasets``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table5_datasets
+from repro.graphs import load_dataset
+
+
+@pytest.mark.parametrize("name", ["cora", "pubmed", "youtube"])
+def bench_table5_dataset_generation(benchmark, name):
+    """Time the generation of one synthetic dataset twin."""
+    benchmark.group = "table5-dataset-generation"
+    graph = benchmark(lambda: load_dataset(name, scale=0.5))
+    assert graph.num_vertices > 0
+
+
+def bench_table5_full_registry(benchmark):
+    """Time the regeneration of the full Table V statistics."""
+    benchmark.group = "table5-dataset-generation"
+    results = benchmark.pedantic(
+        lambda: table5_datasets.run(scale=0.25), rounds=1, iterations=1
+    )
+    assert len(results["measured"]) == len(results["paper"])

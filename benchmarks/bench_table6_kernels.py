@@ -1,0 +1,76 @@
+"""Benchmarks regenerating Table VI — kernel time for embedding, FR and GCN.
+
+Each benchmark times one cell family of Table VI: one application pattern
+on one graph, for the unfused (DGL-style) baseline, the optimized fused
+kernel, and (on a row sample) the unoptimized reference FusedMM.  The
+FusedMMopt-over-DGL speedup of the table is the ratio of the corresponding
+benchmark means within a group; the complete grid can be printed with
+``python -m repro.experiments.table6_kernels``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import unfused_fusedmm
+from repro.core import fusedmm
+
+from _bench_utils import features_for
+
+#: (application, pattern) pairs of Table VI.
+APPS = [
+    ("embedding", "sigmoid_embedding"),
+    ("fr", "fr_layout"),
+    ("gcn", "gcn"),
+]
+
+DIMS = [32, 128]
+
+
+@pytest.mark.parametrize("app,pattern", APPS, ids=[a for a, _ in APPS])
+@pytest.mark.parametrize("d", DIMS)
+def bench_table6_youtube_dgl(benchmark, youtube_graph, app, pattern, d):
+    """Unfused (DGL-style) kernel time on the Youtube twin."""
+    A = youtube_graph.adjacency
+    X = features_for(youtube_graph, d)
+    benchmark.group = f"table6-youtube-{app}-d{d}"
+    benchmark(lambda: unfused_fusedmm(A, X, X, pattern=pattern))
+
+
+@pytest.mark.parametrize("app,pattern", APPS, ids=[a for a, _ in APPS])
+@pytest.mark.parametrize("d", DIMS)
+def bench_table6_youtube_fusedmmopt(benchmark, youtube_graph, app, pattern, d):
+    """Optimized FusedMM kernel time on the Youtube twin."""
+    A = youtube_graph.adjacency
+    X = features_for(youtube_graph, d)
+    benchmark.group = f"table6-youtube-{app}-d{d}"
+    benchmark(lambda: fusedmm(A, X, X, pattern=pattern, backend="auto"))
+
+
+@pytest.mark.parametrize("app,pattern", APPS, ids=[a for a, _ in APPS])
+def bench_table6_ogbprot_dgl(benchmark, ogbprot_graph, app, pattern):
+    """Unfused (DGL-style) kernel time on the dense Ogbprot twin (d=128)."""
+    A = ogbprot_graph.adjacency
+    X = features_for(ogbprot_graph, 128)
+    benchmark.group = f"table6-ogbprot-{app}-d128"
+    benchmark(lambda: unfused_fusedmm(A, X, X, pattern=pattern))
+
+
+@pytest.mark.parametrize("app,pattern", APPS, ids=[a for a, _ in APPS])
+def bench_table6_ogbprot_fusedmmopt(benchmark, ogbprot_graph, app, pattern):
+    """Optimized FusedMM kernel time on the dense Ogbprot twin (d=128)."""
+    A = ogbprot_graph.adjacency
+    X = features_for(ogbprot_graph, 128)
+    benchmark.group = f"table6-ogbprot-{app}-d128"
+    benchmark(lambda: fusedmm(A, X, X, pattern=pattern, backend="auto"))
+
+
+def bench_table6_orkut_fusedmm_generic_sample(benchmark, orkut_graph):
+    """Unoptimized (Alg. 1 reference) FusedMM on a row sample of the Orkut
+    twin — the "FusedMM" (non-opt) row of Table VI, timed on a sample
+    because the reference kernel iterates nonzeros in Python."""
+    A = orkut_graph.adjacency.row_slice(0, min(1500, orkut_graph.num_vertices))
+    X = features_for(orkut_graph, 32)[: A.nrows]
+    Y = features_for(orkut_graph, 32)
+    benchmark.group = "table6-orkut-embedding-generic-sample"
+    benchmark(lambda: fusedmm(A, X, Y, pattern="sigmoid_embedding", backend="generic"))

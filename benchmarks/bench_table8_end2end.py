@@ -1,0 +1,24 @@
+"""Benchmarks regenerating Table VIII — end-to-end Force2Vec epoch time.
+
+Each benchmark times one training epoch of Force2Vec (d=128, batch 256 as
+in the paper) with one kernel backend on the Cora twin; the table's
+slowdown factors are the ratios of the group's means.  Pubmed and the full
+protocol are covered by ``python -m repro.experiments.table8_end2end``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import Force2Vec, Force2VecConfig
+
+BACKENDS = ["fused", "unfused", "dense"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def bench_table8_force2vec_epoch_cora(benchmark, cora_graph, backend):
+    """One Force2Vec epoch on the Cora twin with the given kernel backend."""
+    config = Force2VecConfig(dim=128, batch_size=256, epochs=1, seed=0, backend=backend)
+    model = Force2Vec(cora_graph, config)
+    benchmark.group = "table8-cora-epoch"
+    benchmark.pedantic(lambda: model.train_epoch(0), rounds=3, iterations=1, warmup_rounds=1)

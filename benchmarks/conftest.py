@@ -1,0 +1,67 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates (a scaled version of) one table or figure of
+the paper.  The graphs are the synthetic dataset twins, generated once per
+session and scaled down (``BENCH_SCALE``) so the full suite runs in a few
+minutes on a laptop; set the ``REPRO_BENCH_SCALE`` environment variable to
+1.0 (or more) to benchmark at the registry's full synthetic sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.graphs import load_dataset, random_features  # noqa: E402
+
+#: Scale factor applied to every dataset used in benchmarks.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """The dataset scale factor used throughout the benchmark suite."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def youtube_graph():
+    """Synthetic Youtube twin (low average degree)."""
+    return load_dataset("youtube", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def ogbprot_graph():
+    """Synthetic Ogbprot twin (high average degree)."""
+    return load_dataset("ogbprot", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def orkut_graph():
+    """Synthetic Orkut twin (largest graph in the suite)."""
+    return load_dataset("orkut", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def flickr_graph():
+    """Synthetic Flickr twin (dimension-sweep workload)."""
+    return load_dataset("flickr", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def cora_graph():
+    """Synthetic Cora twin (labelled, end-to-end workload)."""
+    return load_dataset("cora", scale=1.0)
+
+
+def features_for(graph, d: int, seed: int = 0) -> np.ndarray:
+    """Random features sized for a graph (helper used by the benchmarks)."""
+    return random_features(graph.num_vertices, d, seed=seed)

@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Makes the in-tree ``src/`` layout importable even when the package has not
+been pip-installed (the offline environment used for development lacks the
+``wheel`` package that modern editable installs require, so tests must not
+depend on installation state).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

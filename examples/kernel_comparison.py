@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Reproduce a slice of the paper's kernel comparison on your machine.
+
+Runs the Table VI-style three-way comparison (unfused DGL-style pipeline vs
+the reference FusedMM vs the optimized FusedMM) for a chosen graph across a
+dimension sweep, prints the table, and shows the roofline numbers of
+Fig. 7 for the same graph.
+
+Run with:  python examples/kernel_comparison.py [--graph youtube] [--dims 32 128]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import compare_kernels, format_table
+from repro.graphs import load_dataset, random_features
+from repro.core import fusedmm
+from repro.perf import measure_stream_bandwidth, roofline_point, time_kernel
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--graph", default="youtube", help="dataset name")
+    parser.add_argument("--scale", type=float, default=0.5, help="dataset scale factor")
+    parser.add_argument("--dims", type=int, nargs="+", default=[32, 128])
+    parser.add_argument("--pattern", default="sigmoid_embedding")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    graph = load_dataset(args.graph, scale=args.scale)
+    print(f"graph: {graph.name}, {graph.num_vertices} vertices, {graph.num_edges} edges, "
+          f"avg degree {graph.adjacency.avg_degree():.1f}")
+
+    rows = []
+    for d in args.dims:
+        rows.append(
+            compare_kernels(
+                graph.name,
+                graph.adjacency,
+                d,
+                pattern=args.pattern,
+                repeats=args.repeats,
+            )
+        )
+    print()
+    print(format_table(rows, title="Kernel comparison (Table VI protocol)"))
+
+    # Roofline point (Fig. 7) for the largest dimension.
+    d = max(args.dims)
+    X = random_features(graph.num_vertices, d, seed=0)
+    timing = time_kernel(
+        fusedmm, graph.adjacency, X, pattern=args.pattern, repeats=args.repeats
+    )
+    bw = measure_stream_bandwidth()
+    point = roofline_point(graph.name, graph.adjacency, d, timing.mean, bandwidth_gbs=bw)
+    print()
+    print(format_table([point.as_row()], title=f"Roofline point at d={d} (Fig. 7 protocol)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: run FusedMM on a graph in five lines.
+
+This example shows the minimal public-API workflow:
+
+1. load a graph (a synthetic twin of one of the paper's datasets),
+2. initialise node features,
+3. call ``fusedmm`` with one of the built-in Table III patterns,
+4. compare against the unfused SDDMM → SpMM pipeline (same result, more
+   memory, more time),
+5. plan a reusable kernel with autotuning for repeated calls.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import FusedMM, fusedmm
+from repro.baselines import unfused_fusedmm
+from repro.graphs import load_dataset, random_features
+
+
+def main() -> None:
+    # 1. A synthetic twin of the paper's Pubmed graph (19.7K vertices).
+    graph = load_dataset("pubmed")
+    print(f"graph: {graph.name}, {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    # 2. 64-dimensional node features (the X = Y whole-graph case).
+    X = random_features(graph.num_vertices, 64, seed=0)
+
+    # 3. One fused call: z_u = sum_v sigmoid(x_u . x_v) x_v
+    t0 = time.perf_counter()
+    Z = fusedmm(graph.adjacency, X, pattern="sigmoid_embedding")
+    fused_time = time.perf_counter() - t0
+    print(f"fused kernel:    Z shape {Z.shape}, {fused_time * 1e3:.1f} ms")
+
+    # 4. The unfused (DGL-style) pipeline computes the same thing but
+    #    materialises the intermediate edge messages.
+    t0 = time.perf_counter()
+    Z_unfused = unfused_fusedmm(graph.adjacency, X, X, pattern="sigmoid_embedding")
+    unfused_time = time.perf_counter() - t0
+    print(
+        f"unfused pipeline: max |diff| = {np.abs(Z - Z_unfused).max():.2e}, "
+        f"{unfused_time * 1e3:.1f} ms "
+        f"({unfused_time / max(fused_time, 1e-9):.2f}x the fused time)"
+    )
+
+    # 5. For repeated calls (e.g. a training loop), plan the kernel once.
+    kernel = FusedMM(graph.adjacency, pattern="sigmoid_embedding", autotune=True, autotune_dim=64)
+    print("planned kernel:", kernel.describe())
+    t0 = time.perf_counter()
+    for _ in range(5):
+        Z = kernel(X)
+    print(f"5 planned calls: {(time.perf_counter() - t0) * 1e3:.1f} ms total")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,153 @@
+"""Force-directed graph layout with the Fruchterman–Reingold model
+(Fig. 1(a) of the paper).
+
+One layout iteration needs, for every vertex ``u``,
+
+* the **attractive** displacement from its neighbours — a function of the
+  distance ``‖x_u − x_v‖`` multiplied by the unit direction — which is the
+  ``fr_layout`` FusedMM pattern (Table III row 1) and generates a
+  *d-dimensional message per edge* (the memory-heavy case of Table VI /
+  Fig. 10b), and
+* a **repulsive** displacement from non-neighbours, which the
+  minibatch/negative-sampling literature approximates with a sample of
+  random vertices (computing it exactly is O(n²)).
+
+The :class:`FRLayout` driver below runs those two terms per iteration with
+a standard cooling schedule, through a selectable kernel backend so the
+layout experiment of the harness can compare fused vs unfused end to end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..baselines.unfused import unfused_fusedmm
+from ..core.fused import fusedmm
+from ..core.specialized import fr_layout_kernel
+from ..errors import BackendError, ShapeError
+from ..graphs.features import uniform_features
+from ..graphs.graph import Graph
+from ..sparse import CSRMatrix
+from .sampling import NegativeSampler
+
+__all__ = ["FRLayoutConfig", "FRLayout"]
+
+LAYOUT_BACKENDS = ("fused", "fused_generic", "unfused")
+
+
+@dataclass
+class FRLayoutConfig:
+    """Hyper-parameters of the FR layout driver."""
+
+    dim: int = 2
+    iterations: int = 50
+    initial_temperature: float = 0.1
+    cooling: float = 0.97
+    repulsive_samples: int = 5
+    seed: int = 0
+    backend: str = "fused"
+    num_threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backend not in LAYOUT_BACKENDS:
+            raise BackendError(
+                f"unknown layout backend {self.backend!r}; expected {LAYOUT_BACKENDS}"
+            )
+        if self.dim <= 0 or self.iterations < 0:
+            raise ShapeError("dim must be positive and iterations non-negative")
+        if not 0.0 < self.cooling <= 1.0:
+            raise ShapeError("cooling must be in (0, 1]")
+
+
+class FRLayout:
+    """Iterative force-directed layout on top of the FusedMM FR kernel."""
+
+    def __init__(self, graph: Graph, config: FRLayoutConfig | None = None) -> None:
+        self.graph = graph
+        self.config = config or FRLayoutConfig()
+        self.adjacency: CSRMatrix = graph.adjacency
+        if self.adjacency.nrows != self.adjacency.ncols:
+            raise ShapeError("FRLayout expects a square adjacency matrix")
+        self.positions = uniform_features(
+            graph.num_vertices, self.config.dim, seed=self.config.seed
+        ).astype(np.float64)
+        self._sampler = NegativeSampler(graph.num_vertices, seed=self.config.seed + 3)
+        self.iteration_seconds: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    def _attractive(self, P32: np.ndarray) -> np.ndarray:
+        """Attractive displacements via the fr_layout FusedMM pattern."""
+        backend = self.config.backend
+        if backend == "fused":
+            return fr_layout_kernel(
+                self.adjacency, P32, P32, num_threads=self.config.num_threads
+            ).astype(np.float64)
+        if backend == "fused_generic":
+            return fusedmm(
+                self.adjacency, P32, P32, pattern="fr_layout", backend="generic"
+            ).astype(np.float64)
+        return unfused_fusedmm(self.adjacency, P32, P32, pattern="fr_layout").astype(
+            np.float64
+        )
+
+    def _repulsive(self, P32: np.ndarray) -> np.ndarray:
+        """Sampled repulsive displacements (random non-neighbour pairs)."""
+        k = self.config.repulsive_samples
+        if k <= 0:
+            return np.zeros_like(self.positions)
+        n = self.graph.num_vertices
+        negs = self._sampler.sample((n, k))
+        indptr = np.arange(0, (n + 1) * k, k, dtype=np.int64)
+        A_neg = CSRMatrix(
+            n,
+            n,
+            indptr,
+            negs.reshape(-1),
+            np.ones(negs.size, dtype=np.float32),
+            check=False,
+        )
+        # The repulsive force has the same functional form with opposite
+        # sign; reuse the same kernel on the sampled pairs.
+        if self.config.backend == "unfused":
+            rep = unfused_fusedmm(A_neg, P32, P32, pattern="fr_layout")
+        else:
+            rep = fr_layout_kernel(A_neg, P32, P32, num_threads=self.config.num_threads)
+        return -rep.astype(np.float64) / max(k, 1)
+
+    # ------------------------------------------------------------------ #
+    def step(self, temperature: float) -> float:
+        """Run one layout iteration; returns the mean displacement norm."""
+        P32 = self.positions.astype(np.float32)
+        t0 = time.perf_counter()
+        displacement = self._attractive(P32) + self._repulsive(P32)
+        self.iteration_seconds.append(time.perf_counter() - t0)
+        norms = np.linalg.norm(displacement, axis=1, keepdims=True)
+        limited = displacement * np.minimum(1.0, temperature / np.maximum(norms, 1e-12))
+        self.positions -= limited
+        return float(np.mean(norms))
+
+    def run(self, iterations: Optional[int] = None) -> np.ndarray:
+        """Run the full cooling schedule and return final positions."""
+        iterations = self.config.iterations if iterations is None else iterations
+        temperature = self.config.initial_temperature
+        for _ in range(iterations):
+            self.step(temperature)
+            temperature *= self.config.cooling
+        return self.positions.astype(np.float32)
+
+    # ------------------------------------------------------------------ #
+    def edge_length_stats(self) -> dict:
+        """Mean/std of edge lengths in the current layout — a cheap quality
+        proxy (a good force-directed layout has tightly concentrated edge
+        lengths)."""
+        A = self.adjacency
+        if A.nnz == 0:
+            return {"mean": 0.0, "std": 0.0}
+        rows = np.repeat(np.arange(A.nrows, dtype=np.int64), A.row_degrees())
+        diffs = self.positions[rows] - self.positions[A.indices]
+        lengths = np.linalg.norm(diffs, axis=1)
+        return {"mean": float(lengths.mean()), "std": float(lengths.std())}

@@ -1,0 +1,108 @@
+"""Minibatching and negative sampling utilities for embedding training.
+
+FusedMM itself "does not perform minibatching, which is done at the
+application layer" (Section III.C).  The application layer lives here:
+
+* :func:`minibatch_indices` — deterministic shuffled minibatches of vertex
+  ids, the unit of work of one Force2Vec/VERSE training step (the paper
+  uses batch size 256).
+* :class:`NegativeSampler` — uniform or degree-biased (unigram^0.75)
+  negative vertex sampling, the standard choice of word2vec-style
+  embedding objectives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = ["minibatch_indices", "NegativeSampler"]
+
+
+def minibatch_indices(
+    num_vertices: int,
+    batch_size: int,
+    *,
+    shuffle: bool = True,
+    seed: Optional[int] = None,
+    drop_last: bool = False,
+) -> Iterator[np.ndarray]:
+    """Yield minibatches of vertex indices covering ``[0, num_vertices)``.
+
+    Parameters
+    ----------
+    batch_size:
+        Vertices per batch (the paper's end-to-end runs use 256).
+    shuffle:
+        Shuffle the vertex order each call (deterministic given ``seed``).
+    drop_last:
+        Drop the final short batch instead of yielding it.
+    """
+    if num_vertices < 0:
+        raise ShapeError("num_vertices must be non-negative")
+    if batch_size <= 0:
+        raise ShapeError("batch_size must be positive")
+    order = np.arange(num_vertices, dtype=np.int64)
+    if shuffle:
+        np.random.default_rng(seed).shuffle(order)
+    for start in range(0, num_vertices, batch_size):
+        batch = order[start : start + batch_size]
+        if drop_last and batch.shape[0] < batch_size:
+            return
+        yield batch
+
+
+class NegativeSampler:
+    """Sample negative (non-neighbour, in expectation) vertices.
+
+    Parameters
+    ----------
+    num_vertices:
+        Size of the vertex universe to sample from.
+    degrees:
+        Optional per-vertex degrees.  When given, vertices are sampled with
+        probability proportional to ``degree^power`` (the unigram^0.75
+        heuristic); otherwise sampling is uniform.
+    power:
+        Exponent applied to the degree distribution.
+    seed:
+        Seed of the internal generator; the sampler is deterministic and
+        stateful (successive calls advance the stream).
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        degrees: Optional[np.ndarray] = None,
+        *,
+        power: float = 0.75,
+        seed: Optional[int] = None,
+    ) -> None:
+        if num_vertices <= 0:
+            raise ShapeError("num_vertices must be positive")
+        self.num_vertices = int(num_vertices)
+        self._rng = np.random.default_rng(seed)
+        if degrees is None:
+            self._probs = None
+        else:
+            degrees = np.asarray(degrees, dtype=np.float64)
+            if degrees.shape != (num_vertices,):
+                raise ShapeError(
+                    f"degrees must have shape ({num_vertices},), got {degrees.shape}"
+                )
+            weights = np.power(np.maximum(degrees, 1e-12), power)
+            self._probs = weights / weights.sum()
+
+    def sample(self, shape) -> np.ndarray:
+        """Draw negative vertex ids with the configured distribution.
+
+        ``shape`` may be an int or a tuple, e.g. ``(batch, k)`` for ``k``
+        negatives per batch vertex.
+        """
+        if self._probs is None:
+            return self._rng.integers(0, self.num_vertices, size=shape, dtype=np.int64)
+        flat = self._rng.choice(self.num_vertices, size=int(np.prod(shape)), p=self._probs)
+        return flat.reshape(shape).astype(np.int64)

@@ -1,0 +1,99 @@
+"""Dense (PyTorch-style) message-passing baseline.
+
+The end-to-end comparison of Table VIII includes a "PyTorch" implementation
+of the Force2Vec embedding algorithm: one built only from dense tensor
+operations, with no sparse kernels at all.  The idiomatic dense formulation
+computes the full ``m × n`` score matrix ``S = σ(X Yᵀ)``, masks it with the
+adjacency structure, and multiplies back with ``Y`` — three dense passes
+over an ``m × n`` matrix regardless of how sparse the graph is.  That is
+why it loses by ~50× in the paper, and the same asymptotic penalty shows up
+here.
+
+A guard refuses to build score matrices above ``max_dense_elements`` to
+avoid accidentally exhausting memory on the large graphs (the same reason
+the paper only runs this baseline on Cora and Pubmed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.patterns import OpPattern, get_pattern
+from ..core.validation import validate_operands
+from ..errors import BackendError
+
+__all__ = ["dense_fusedmm", "dense_sigmoid_embedding", "dense_spmm"]
+
+#: Refuse to allocate dense score matrices bigger than this many elements
+#: (1e8 single-precision floats ≈ 400 MB).
+MAX_DENSE_ELEMENTS = 100_000_000
+
+
+def _check_size(m: int, n: int, max_dense_elements: int) -> None:
+    if m * n > max_dense_elements:
+        raise BackendError(
+            f"dense baseline would allocate an {m}×{n} score matrix "
+            f"({m * n:,} elements > limit {max_dense_elements:,}); "
+            "use the sparse kernels for graphs of this size"
+        )
+
+
+def dense_sigmoid_embedding(
+    A,
+    X,
+    Y=None,
+    *,
+    max_dense_elements: int = MAX_DENSE_ELEMENTS,
+) -> np.ndarray:
+    """Dense computation of the sigmoid-embedding pattern:
+    ``Z = (σ(X Yᵀ) ⊙ mask(A)) · Y``."""
+    A, X, Y = validate_operands(A, X, Y)
+    _check_size(A.nrows, A.ncols, max_dense_elements)
+    scores = X @ Y.T
+    sig = 1.0 / (1.0 + np.exp(-np.clip(scores, -60.0, 60.0)))
+    mask = A.to_dense() != 0.0
+    return ((sig * mask) @ Y).astype(X.dtype)
+
+
+def dense_spmm(A, Y, *, max_dense_elements: int = MAX_DENSE_ELEMENTS) -> np.ndarray:
+    """Dense SpMM: materialise A densely and use a dense matmul."""
+    from ..sparse import as_csr
+
+    A = as_csr(A)
+    _check_size(A.nrows, A.ncols, max_dense_elements)
+    Y = np.ascontiguousarray(Y)
+    return (A.to_dense() @ Y).astype(
+        Y.dtype if np.issubdtype(Y.dtype, np.floating) else np.float32
+    )
+
+
+def dense_fusedmm(
+    A,
+    X,
+    Y=None,
+    *,
+    pattern: OpPattern | str = "sigmoid_embedding",
+    max_dense_elements: int = MAX_DENSE_ELEMENTS,
+    **pattern_overrides,
+) -> np.ndarray:
+    """Dense-tensor evaluation of a FusedMM pattern.
+
+    Only the patterns the paper runs through its PyTorch baseline are
+    supported densely (sigmoid embedding and SpMM/GCN); anything else falls
+    back to masking the generic per-edge computation on a dense adjacency,
+    which exists mainly so tests can cross-check small cases.
+    """
+    resolved = get_pattern(pattern, **pattern_overrides).resolved()
+    if resolved.is_sigmoid_embedding:
+        return dense_sigmoid_embedding(A, X, Y, max_dense_elements=max_dense_elements)
+    if resolved.is_spmm_like:
+        A_csr, X_arr, Y_arr = validate_operands(A, X, Y)
+        return dense_spmm(A_csr, Y_arr, max_dense_elements=max_dense_elements).astype(
+            X_arr.dtype
+        )
+    # Fallback: dense adjacency + generic reference (small inputs only).
+    from ..core.generic import fusedmm_generic
+
+    A_csr, X_arr, Y_arr = validate_operands(A, X, Y)
+    _check_size(A_csr.nrows, A_csr.ncols, max_dense_elements)
+    return fusedmm_generic(A_csr, X_arr, Y_arr, pattern=get_pattern(pattern, **pattern_overrides))

@@ -1,0 +1,23 @@
+"""Benchmark-harness utilities shared by the experiments and the
+pytest-benchmark targets."""
+
+from .harness import compare_kernels, kernel_callables, make_operands
+from .report import ExperimentReport, comparison_block, load_results, save_results
+from .sweep import DegreeSweepItem, degree_sweep_graphs, dimension_sweep
+from .tables import format_markdown_table, format_table, format_value
+
+__all__ = [
+    "compare_kernels",
+    "kernel_callables",
+    "make_operands",
+    "ExperimentReport",
+    "comparison_block",
+    "save_results",
+    "load_results",
+    "DegreeSweepItem",
+    "degree_sweep_graphs",
+    "dimension_sweep",
+    "format_table",
+    "format_markdown_table",
+    "format_value",
+]

@@ -1,0 +1,96 @@
+"""Result persistence and paper-vs-measured comparison reports.
+
+Experiment modules return plain dictionaries/lists; this module saves them
+as JSON under ``results/`` and renders the side-by-side comparison blocks
+that EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .tables import format_markdown_table, format_table
+
+__all__ = ["save_results", "load_results", "comparison_block", "ExperimentReport"]
+
+
+def save_results(results, path: str | Path) -> Path:
+    """Write experiment results as pretty-printed JSON (creating parent
+    directories), stamping the wall-clock time of the run."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"timestamp": time.strftime("%Y-%m-%d %H:%M:%S"), "results": results}
+    path.write_text(json.dumps(payload, indent=2, default=str))
+    return path
+
+
+def load_results(path: str | Path):
+    """Read results previously written by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    return payload["results"]
+
+
+def comparison_block(
+    title: str,
+    paper_rows: Sequence[Dict],
+    measured_rows: Sequence[Dict],
+    *,
+    note: str = "",
+    markdown: bool = False,
+) -> str:
+    """Render "paper reported" and "this reproduction measured" tables side
+    by side (stacked), used by EXPERIMENTS.md."""
+    fmt = format_markdown_table if markdown else (lambda rows: format_table(rows))
+    parts = [f"## {title}" if markdown else title]
+    if note:
+        parts.append(note)
+    parts.append("**Paper:**" if markdown else "Paper:")
+    parts.append(fmt(list(paper_rows)))
+    parts.append("**Measured (this reproduction):**" if markdown else "Measured:")
+    parts.append(fmt(list(measured_rows)))
+    return "\n\n".join(parts)
+
+
+class ExperimentReport:
+    """Accumulates experiment sections and writes a single Markdown report
+    (the generator behind EXPERIMENTS.md refreshes)."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self.sections: List[str] = []
+
+    def add_section(self, heading: str, body: str) -> None:
+        """Append one section."""
+        self.sections.append(f"## {heading}\n\n{body}")
+
+    def add_comparison(
+        self,
+        heading: str,
+        paper_rows: Sequence[Dict],
+        measured_rows: Sequence[Dict],
+        *,
+        note: str = "",
+    ) -> None:
+        """Append a paper-vs-measured comparison section."""
+        body_parts = []
+        if note:
+            body_parts.append(note)
+        body_parts.append("**Paper:**\n\n" + format_markdown_table(list(paper_rows)))
+        body_parts.append(
+            "**Measured (this reproduction):**\n\n" + format_markdown_table(list(measured_rows))
+        )
+        self.sections.append(f"## {heading}\n\n" + "\n\n".join(body_parts))
+
+    def render(self) -> str:
+        """Full Markdown document."""
+        return f"# {self.title}\n\n" + "\n\n".join(self.sections) + "\n"
+
+    def write(self, path: str | Path) -> Path:
+        """Write the rendered report to ``path``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render())
+        return path

@@ -1,0 +1,57 @@
+"""Parameter-sweep helpers for the sensitivity experiments (Fig. 11).
+
+Two sweeps appear in the paper:
+
+* average-degree sweep — RMAT graphs with a fixed vertex count and a
+  doubling number of edges (Fig. 11a);
+* dimension sweep — one graph, growing feature dimension (Fig. 11b).
+
+Both are expressed here as iterators over fully-specified work items so the
+experiment modules and the pytest benchmarks can share them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from ..graphs.generators import rmat
+from ..sparse import CSRMatrix
+
+__all__ = ["DegreeSweepItem", "degree_sweep_graphs", "dimension_sweep"]
+
+
+@dataclass(frozen=True)
+class DegreeSweepItem:
+    """One RMAT graph of the average-degree sweep."""
+
+    target_avg_degree: float
+    graph: CSRMatrix
+
+    @property
+    def realised_avg_degree(self) -> float:
+        """Average degree actually achieved after dedup/symmetrisation."""
+        return self.graph.avg_degree()
+
+
+def degree_sweep_graphs(
+    num_vertices: int,
+    avg_degrees: Sequence[float],
+    *,
+    seed: int = 0,
+) -> Iterator[DegreeSweepItem]:
+    """Generate RMAT graphs with ``num_vertices`` vertices and the requested
+    average degrees (the Fig. 11a workload; the paper uses 100K vertices
+    and degrees 10..140, scaled down here through ``num_vertices``)."""
+    for i, degree in enumerate(avg_degrees):
+        num_edges = int(num_vertices * float(degree) / 2.0)
+        graph = rmat(num_vertices, num_edges, seed=seed + i)
+        yield DegreeSweepItem(target_avg_degree=float(degree), graph=graph)
+
+
+def dimension_sweep(dims: Sequence[int]) -> List[int]:
+    """Validated list of feature dimensions for a dimension sweep."""
+    out = [int(d) for d in dims]
+    if any(d <= 0 for d in out):
+        raise ValueError("all dimensions must be positive")
+    return out

@@ -1,0 +1,77 @@
+"""Plain-text and Markdown table formatting for experiment reports.
+
+Every experiment module produces a list of row dictionaries; these helpers
+render them the way the harness prints them (aligned ASCII for the console,
+Markdown for EXPERIMENTS.md) without pulling in any dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_markdown_table", "format_value"]
+
+
+def format_value(value) -> str:
+    """Human-friendly cell rendering: floats get 4 significant digits,
+    everything else is ``str()``-ed."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _columns(rows: Sequence[Dict], columns: Sequence[str] | None) -> List[str]:
+    if columns is not None:
+        return list(columns)
+    cols: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in cols:
+                cols.append(key)
+    return cols
+
+
+def format_table(
+    rows: Sequence[Dict],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = _columns(rows, columns)
+    rendered = [[format_value(row.get(c, "")) for c in cols] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(cols))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(cols))))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Sequence[Dict],
+    *,
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    cols = _columns(rows, columns)
+    lines = ["| " + " | ".join(cols) + " |", "|" + "|".join("---" for _ in cols) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(format_value(row.get(c, "")) for c in cols) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Sub-commands
+------------
+``datasets``      list the synthetic dataset registry (Table V twin)
+``patterns``      list the built-in operator patterns (Table III)
+``experiments``   list the registered paper experiments
+``run``           run one experiment and print its tables
+``kernel``        time one kernel comparison on one graph/dimension
+``report``        regenerate EXPERIMENTS.md style results (all experiments,
+                  scaled down) and write them to a Markdown file
+
+The CLI is a thin veneer over the library — everything it does is also
+available programmatically through :mod:`repro.experiments` and
+:mod:`repro.bench`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench.tables import format_table
+from .core.patterns import PATTERNS, get_pattern
+from .graphs.datasets import list_datasets, load_dataset, paper_table5
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    paper = {row["graph"]: row for row in paper_table5()}
+    for name in list_datasets():
+        graph = load_dataset(name, scale=args.scale)
+        row = graph.stats().as_row()
+        row["paper_vertices"] = paper[name]["vertices"]
+        row["paper_avg_degree"] = paper[name]["avg_degree"]
+        rows.append(row)
+    print(format_table(rows, title=f"Synthetic dataset registry (scale={args.scale})"))
+    return 0
+
+
+def _cmd_patterns(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(PATTERNS):
+        resolved = get_pattern(name).resolved()
+        row = {"pattern": name, **resolved.op_names()}
+        row["description"] = PATTERNS[name].description[:60]
+        rows.append(row)
+    print(format_table(rows, title="Built-in operator patterns (Table III)"))
+    return 0
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    from .experiments.registry import EXPERIMENTS
+
+    rows = [
+        {"key": exp.key, "paper": exp.paper_reference, "description": exp.description}
+        for exp in EXPERIMENTS.values()
+    ]
+    print(format_table(rows, title="Registered paper experiments"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .experiments.registry import get_experiment
+
+    experiment = get_experiment(args.key)
+    print(f"# {experiment.paper_reference}: {experiment.description}\n")
+    main_fn = getattr(experiment.module, "main", None)
+    if main_fn is not None and not args.raw:
+        main_fn()
+        return 0
+    for name, runner in experiment.runners.items():
+        results = runner()
+        if isinstance(results, list):
+            print(format_table(results, title=name))
+        else:
+            print(name, results)
+    return 0
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    from .bench.harness import compare_kernels
+
+    graph = load_dataset(args.graph, scale=args.scale)
+    rows = [
+        compare_kernels(
+            graph.name,
+            graph.adjacency,
+            d,
+            pattern=args.pattern,
+            repeats=args.repeats,
+            include_generic=not args.no_generic,
+            num_threads=args.threads,
+        )
+        for d in args.dims
+    ]
+    print(format_table(rows, title=f"Kernel comparison on {graph.name} ({args.pattern})"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.run_all import generate_report
+
+    path = generate_report(args.output, scale=args.scale, quick=args.quick)
+    print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FusedMM reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_data = sub.add_parser("datasets", help="list the synthetic dataset registry")
+    p_data.add_argument("--scale", type=float, default=0.25)
+    p_data.set_defaults(func=_cmd_datasets)
+
+    p_pat = sub.add_parser("patterns", help="list the built-in operator patterns")
+    p_pat.set_defaults(func=_cmd_patterns)
+
+    p_exp = sub.add_parser("experiments", help="list the registered paper experiments")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("key", help="experiment key, e.g. table6 or fig11")
+    p_run.add_argument("--raw", action="store_true", help="print raw runner output")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_kernel = sub.add_parser("kernel", help="time one kernel comparison")
+    p_kernel.add_argument("--graph", default="youtube")
+    p_kernel.add_argument("--pattern", default="sigmoid_embedding")
+    p_kernel.add_argument("--dims", type=int, nargs="+", default=[32, 128])
+    p_kernel.add_argument("--scale", type=float, default=0.5)
+    p_kernel.add_argument("--repeats", type=int, default=3)
+    p_kernel.add_argument("--threads", type=int, default=1)
+    p_kernel.add_argument("--no-generic", action="store_true")
+    p_kernel.set_defaults(func=_cmd_kernel)
+
+    p_report = sub.add_parser("report", help="regenerate the experiments report")
+    p_report.add_argument("--output", default="EXPERIMENTS_GENERATED.md")
+    p_report.add_argument("--scale", type=float, default=0.5)
+    p_report.add_argument("--quick", action="store_true", help="smallest possible runs")
+    p_report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,189 @@
+"""Autotuning of FusedMM execution parameters.
+
+The paper's library tunes its generated kernels per architecture: register
+blocking factors, which vectors to prioritise for blocking, and a blocking
+threshold for large dimensions (Section IV.B).  The tunable parameters of
+the Python kernels are
+
+* the blocking **strategy** (row-blocked vs edge-blocked, see
+  :mod:`repro.core.optimized`), and
+* the **edge block size** (how many edges worth of intermediates are alive
+  at once — the register/L2-tile analogue).
+
+:func:`autotune` measures a small number of timed trial runs for each
+candidate configuration on (a sample of) the actual operands and returns
+the fastest.  Results are cached per ``(pattern, d, nnz-bucket, strategy
+set)`` so repeated calls (e.g. every training epoch) pay the tuning cost
+once — the same usage model as ATLAS-style install-time tuning, scaled down
+to call-time.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+from .optimized import DEFAULT_BLOCK_SIZE, fusedmm_edgeblocked, fusedmm_rowblocked
+from .patterns import OpPattern, get_pattern
+from .validation import validate_operands
+
+__all__ = [
+    "TuningResult",
+    "autotune",
+    "clear_tuning_cache",
+    "tuning_cache_info",
+    "DEFAULT_BLOCK_CANDIDATES",
+]
+
+#: Candidate edge-block sizes swept by default (powers of four around the
+#: default, covering L1-sized to LLC-sized intermediate tiles).
+DEFAULT_BLOCK_CANDIDATES: Tuple[int, ...] = (1024, 4096, 16384, 65536)
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of one autotuning sweep."""
+
+    strategy: str
+    block_size: int
+    best_time: float
+    #: every (strategy, block_size) → measured seconds
+    trials: Dict[Tuple[str, int], float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view for reports."""
+        return {
+            "strategy": self.strategy,
+            "block_size": self.block_size,
+            "best_time": self.best_time,
+            "num_trials": len(self.trials),
+        }
+
+
+_TUNING_CACHE: Dict[Tuple, TuningResult] = {}
+
+
+def clear_tuning_cache() -> None:
+    """Drop all cached tuning results (mainly for tests)."""
+    _TUNING_CACHE.clear()
+
+
+def tuning_cache_info() -> Dict[str, int]:
+    """Number of cached tuning results."""
+    return {"cached_results": len(_TUNING_CACHE)}
+
+
+def _nnz_bucket(nnz: int) -> int:
+    """Bucket nnz on a log2 scale so similar problem sizes share a cache
+    entry."""
+    return int(math.log2(max(nnz, 1)))
+
+
+def _sample_rows(A: CSRMatrix, max_nnz: int, seed: int = 0) -> CSRMatrix:
+    """A contiguous row slice of ``A`` holding roughly ``max_nnz`` nonzeros,
+    used so tuning runs stay cheap on huge graphs."""
+    if A.nnz <= max_nnz:
+        return A
+    stop = int(np.searchsorted(A.indptr, max_nnz, side="left"))
+    stop = max(1, min(stop, A.nrows))
+    return A.row_slice(0, stop)
+
+
+def autotune(
+    A,
+    X,
+    Y=None,
+    *,
+    pattern: OpPattern | str = "sigmoid_embedding",
+    strategies: Sequence[str] = ("row", "edge"),
+    block_candidates: Sequence[int] = DEFAULT_BLOCK_CANDIDATES,
+    repeats: int = 2,
+    max_sample_nnz: int = 200_000,
+    num_threads: int = 1,
+    use_cache: bool = True,
+    **pattern_overrides,
+) -> TuningResult:
+    """Pick the fastest (strategy, block size) for the given operands.
+
+    Parameters
+    ----------
+    strategies:
+        Subset of ``{"row", "edge"}`` to try.
+    block_candidates:
+        Edge block sizes to sweep (only relevant for the edge strategy).
+    repeats:
+        Timed repetitions per configuration; the minimum is kept.
+    max_sample_nnz:
+        Tuning runs on a row prefix of ``A`` holding at most this many
+        nonzeros, so tuning stays cheap relative to the real call.
+    """
+    A_csr, X_arr, Y_arr = validate_operands(A, X, Y)
+    resolved = get_pattern(pattern, **pattern_overrides).resolved()
+    key = (
+        tuple(sorted(resolved.op_names().items())),
+        X_arr.shape[1],
+        _nnz_bucket(A_csr.nnz),
+        tuple(strategies),
+        tuple(block_candidates),
+        num_threads,
+    )
+    if use_cache and key in _TUNING_CACHE:
+        return _TUNING_CACHE[key]
+
+    sample = _sample_rows(A_csr, max_sample_nnz)
+    Xs = X_arr[: sample.nrows]
+    trials: Dict[Tuple[str, int], float] = {}
+
+    def _time(fn, *args, **kwargs) -> float:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            fn(*args, **kwargs)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    for strategy in strategies:
+        if strategy == "row":
+            elapsed = _time(
+                fusedmm_rowblocked,
+                sample,
+                Xs,
+                Y_arr,
+                pattern=pattern,
+                num_threads=num_threads,
+                **pattern_overrides,
+            )
+            trials[("row", 0)] = elapsed
+        elif strategy == "edge":
+            for block in block_candidates:
+                elapsed = _time(
+                    fusedmm_edgeblocked,
+                    sample,
+                    Xs,
+                    Y_arr,
+                    pattern=pattern,
+                    block_size=int(block),
+                    num_threads=num_threads,
+                    **pattern_overrides,
+                )
+                trials[("edge", int(block))] = elapsed
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+
+    (best_strategy, best_block), best_time = min(trials.items(), key=lambda kv: kv[1])
+    if best_strategy == "row":
+        best_block = DEFAULT_BLOCK_SIZE
+    result = TuningResult(
+        strategy=best_strategy,
+        block_size=best_block,
+        best_time=best_time,
+        trials=trials,
+    )
+    if use_cache:
+        _TUNING_CACHE[key] = result
+    return result

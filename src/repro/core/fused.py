@@ -1,0 +1,266 @@
+"""Public FusedMM entry points.
+
+Two levels of API are provided:
+
+* :func:`fusedmm` — one-shot functional call ``Z = fusedmm(A, X, Y,
+  pattern=...)`` with backend selection, matching the paper's
+  ``Z = FusedMM(A, X, Y)`` formulation (Fig. 2).
+* :class:`FusedMM` — a planned/reusable kernel object: the pattern is
+  resolved once, the partitioning and (optionally) the autotuned block
+  size are computed once, and every subsequent ``__call__`` reuses them.
+  This is the shape of API an embedding training loop wants: the adjacency
+  matrix is fixed across epochs, only the feature matrices change.
+
+Backends
+--------
+``"generic"``      the faithful Algorithm 1 reference (paper's "FusedMM")
+``"optimized"``    vectorized row-/edge-blocked kernels (paper's "FusedMMopt")
+``"specialized"``  hand-fused kernels for the known Table III patterns
+``"generated"``    kernels emitted by the code generator (Section IV.B)
+``"auto"``         specialized → generated → optimized → generic, first
+                   backend that supports the requested pattern wins
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import BackendError
+from ..sparse import CSRMatrix
+from .autotune import TuningResult, autotune
+from .codegen import compile_kernel, supports_pattern
+from .generic import fusedmm_generic
+from .optimized import DEFAULT_BLOCK_SIZE, fusedmm_edgeblocked, fusedmm_optimized, fusedmm_rowblocked
+from .partition import part1d
+from .patterns import OpPattern, get_pattern
+from .specialized import get_specialized_kernel
+from .validation import validate_operands
+
+__all__ = ["fusedmm", "FusedMM", "BACKENDS"]
+
+BACKENDS = ("auto", "generic", "optimized", "specialized", "generated")
+
+
+def fusedmm(
+    A,
+    X,
+    Y=None,
+    *,
+    pattern: OpPattern | str = "sigmoid_embedding",
+    backend: str = "auto",
+    num_threads: int = 1,
+    block_size: Optional[int] = None,
+    strategy: str = "auto",
+    **pattern_overrides,
+) -> np.ndarray:
+    """Compute ``Z = FusedMM(A, X, Y)`` for the requested operator pattern.
+
+    Parameters
+    ----------
+    A:
+        Sparse adjacency slice (anything :func:`repro.sparse.as_csr`
+        accepts): ``m × n``.
+    X:
+        ``m × d`` source-vertex features.
+    Y:
+        ``n × d`` destination-vertex features; defaults to ``X`` when ``A``
+        is square.
+    pattern:
+        Pattern name (``"sigmoid_embedding"``, ``"fr_layout"``, ``"gcn"``,
+        ``"gnn_mlp"``, ``"spmm"``, …), an
+        :class:`~repro.core.patterns.OpPattern`, or ``None`` with explicit
+        ``vop=...``/``rop=...``/... keyword overrides.
+    backend:
+        One of :data:`BACKENDS`.
+    num_threads:
+        Worker threads for the partition-parallel backends.
+    block_size:
+        Edge-block size override for the blocked backends.
+    strategy:
+        ``"row"``, ``"edge"`` or ``"auto"`` for the optimized backend.
+
+    Returns
+    -------
+    numpy.ndarray
+        The ``m × d`` updated feature matrix ``Z``.
+    """
+    if backend not in BACKENDS:
+        raise BackendError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    op_pattern = get_pattern(pattern, **pattern_overrides)
+    resolved = op_pattern.resolved()
+
+    if backend == "generic":
+        return fusedmm_generic(A, X, Y, pattern=op_pattern)
+
+    if backend in ("specialized", "auto"):
+        kernel = get_specialized_kernel(resolved)
+        if kernel is not None:
+            return kernel(
+                A,
+                X,
+                Y,
+                block_size=block_size or DEFAULT_BLOCK_SIZE,
+                num_threads=num_threads,
+            )
+        if backend == "specialized":
+            raise BackendError(
+                f"no specialized kernel exists for pattern {resolved.name!r}; "
+                "use backend='optimized' or 'auto'"
+            )
+
+    if backend in ("generated", "auto"):
+        if supports_pattern(resolved):
+            kernel = compile_kernel(resolved)
+            return kernel(
+                A,
+                X,
+                Y,
+                block_size=block_size or DEFAULT_BLOCK_SIZE,
+                num_threads=num_threads,
+            )
+        if backend == "generated":
+            raise BackendError(
+                f"the code generator has no templates for pattern {resolved.name!r} "
+                f"(ops {resolved.op_names()}); use backend='optimized' or 'auto'"
+            )
+
+    # optimized / auto fallback
+    try:
+        return fusedmm_optimized(
+            A,
+            X,
+            Y,
+            pattern=op_pattern,
+            strategy=strategy,
+            block_size=block_size,
+            num_threads=num_threads,
+        )
+    except Exception:
+        if backend == "optimized":
+            raise
+        # Last-resort fallback for exotic user operators whose batched form
+        # misbehaves: the reference kernel always works.
+        return fusedmm_generic(A, X, Y, pattern=op_pattern)
+
+
+@dataclass
+class _Plan:
+    """Execution plan cached by :class:`FusedMM`."""
+
+    backend: str
+    strategy: str
+    block_size: int
+    num_threads: int
+    tuning: Optional[TuningResult] = None
+
+
+class FusedMM:
+    """A planned, reusable FusedMM kernel bound to one adjacency matrix.
+
+    Example
+    -------
+    >>> from repro import FusedMM
+    >>> from repro.graphs import load_dataset, random_features
+    >>> g = load_dataset("cora")
+    >>> X = random_features(g.num_vertices, 64, seed=0)
+    >>> kernel = FusedMM(g.adjacency, pattern="sigmoid_embedding", autotune=False)
+    >>> Z = kernel(X)          # Y defaults to X for square A
+    >>> Z.shape
+    (2708, 64)
+    """
+
+    def __init__(
+        self,
+        A,
+        *,
+        pattern: OpPattern | str = "sigmoid_embedding",
+        backend: str = "auto",
+        num_threads: int = 1,
+        block_size: Optional[int] = None,
+        strategy: str = "auto",
+        autotune: bool = False,
+        autotune_dim: int = 128,
+        **pattern_overrides,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise BackendError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        from ..sparse import as_csr
+
+        self.A: CSRMatrix = as_csr(A)
+        self.pattern: OpPattern = get_pattern(pattern, **pattern_overrides)
+        self.resolved = self.pattern.resolved()
+        self.partitions = part1d(self.A, max(1, num_threads))
+        self._autotune_requested = autotune
+        self._autotune_dim = autotune_dim
+        self.plan = _Plan(
+            backend=backend,
+            strategy=strategy,
+            block_size=block_size or DEFAULT_BLOCK_SIZE,
+            num_threads=max(1, num_threads),
+        )
+        if autotune:
+            self._run_autotune()
+
+    # ------------------------------------------------------------------ #
+    def _run_autotune(self) -> None:
+        """Tune strategy/block size on synthetic features of the configured
+        dimension (the adjacency is what matters for the access pattern)."""
+        rng = np.random.default_rng(0)
+        d = self._autotune_dim
+        X = rng.standard_normal((self.A.nrows, d)).astype(np.float32)
+        Y = (
+            X
+            if self.A.nrows == self.A.ncols
+            else rng.standard_normal((self.A.ncols, d)).astype(np.float32)
+        )
+        result = autotune(
+            self.A,
+            X,
+            Y,
+            pattern=self.pattern,
+            num_threads=self.plan.num_threads,
+        )
+        self.plan.tuning = result
+        self.plan.strategy = result.strategy
+        self.plan.block_size = result.block_size
+
+    # ------------------------------------------------------------------ #
+    def __call__(self, X, Y=None) -> np.ndarray:
+        """Execute the planned kernel on new feature matrices."""
+        return fusedmm(
+            self.A,
+            X,
+            Y,
+            pattern=self.pattern,
+            backend=self.plan.backend,
+            num_threads=self.plan.num_threads,
+            block_size=self.plan.block_size,
+            strategy=self.plan.strategy,
+        )
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict:
+        """Human-readable summary of the plan (for logs and reports)."""
+        info = {
+            "pattern": self.resolved.name,
+            "ops": self.resolved.op_names(),
+            "backend": self.plan.backend,
+            "strategy": self.plan.strategy,
+            "block_size": self.plan.block_size,
+            "num_threads": self.plan.num_threads,
+            "partitions": len(self.partitions),
+            "nnz": self.A.nnz,
+            "shape": self.A.shape,
+        }
+        if self.plan.tuning is not None:
+            info["tuning"] = self.plan.tuning.as_dict()
+        return info
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FusedMM(pattern={self.resolved.name!r}, backend={self.plan.backend!r}, "
+            f"A={self.A.shape}, nnz={self.A.nnz})"
+        )

@@ -1,0 +1,212 @@
+"""Hand-specialized fused kernels for the known patterns of Table III.
+
+Section IV of the paper explains that when the five operators match a known
+pattern — e.g. (MUL, RSUM, SIGMOID, MUL, ASUM) for sigmoid graph embedding —
+the library dispatches a kernel in which the steps are fused into a single
+pass with no per-step temporaries and architecture-tuned intrinsics.  The
+Python analogue below fuses the steps into single NumPy expressions
+(``einsum`` for the dot products, fused multiply-accumulate via in-place
+updates) per edge block or row, eliminating the operator-dispatch overhead
+of the general :mod:`repro.core.optimized` kernels.
+
+Available specializations (mirroring the first three rows of Table III plus
+the SpMM specialisation used in the MKL comparison):
+
+* :func:`sigmoid_embedding_kernel` — ``z_u = Σ_v σ(x_u·y_v) · y_v``
+* :func:`fr_layout_kernel`        — ``z_u = Σ_v f(‖x_u−y_v‖) · (x_u−y_v)``
+* :func:`spmm_kernel`             — ``Z = A · Y`` (also the GCN aggregation)
+* :func:`gcn_kernel`              — alias of :func:`spmm_kernel`
+
+:func:`get_specialized_kernel` maps a resolved pattern to its specialization
+(or ``None`` when there is none), which is how the top-level dispatcher in
+:mod:`repro.core.fused` selects them automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .operators import Operator
+from .optimized import DEFAULT_BLOCK_SIZE, _edge_block_ranges
+from .parallel import ParallelConfig, run_partitioned
+from .partition import RowPartition
+from .patterns import ResolvedPattern
+from .validation import validate_operands
+
+__all__ = [
+    "sigmoid_embedding_kernel",
+    "fr_layout_kernel",
+    "spmm_kernel",
+    "gcn_kernel",
+    "get_specialized_kernel",
+]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+def sigmoid_embedding_kernel(
+    A,
+    X,
+    Y=None,
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    num_threads: int = 1,
+    parts_per_thread: int = 1,
+) -> np.ndarray:
+    """Fused sigmoid-embedding kernel: ``z_u = Σ_v σ(x_uᵀ y_v) y_v``.
+
+    This is the kernel of Fig. 5: the dot product (VOP+ROP), the sigmoid
+    (SOP) and the scaled accumulation (MOP+AOP) happen in one pass over each
+    edge block, so the only intermediates are the ``(k,)`` scores of the
+    current block.
+    """
+    A, X, Y = validate_operands(A, X, Y)
+    m, d = X.shape
+    Z = np.zeros((m, d), dtype=np.float64)
+    indptr, indices, data = A.indptr, A.indices, A.data
+    edge_rows = np.repeat(np.arange(m, dtype=np.int64), A.row_degrees())
+
+    def kernel(part: RowPartition, z_slice: np.ndarray) -> None:
+        lo, hi = int(indptr[part.start]), int(indptr[part.stop])
+        for e0, e1 in _edge_block_ranges(lo, hi, block_size):
+            src = edge_rows[e0:e1]
+            dst = indices[e0:e1]
+            Yd = Y[dst]
+            # VOP + ROP fused into one einsum (the "dot1/dot2" of Fig. 5).
+            scores = np.einsum("ij,ij->i", X[src], Yd)
+            h = _sigmoid(scores)
+            # MOP + AOP fused: scale rows of Yd and segment-sum into Z.
+            contrib = h[:, None] * Yd
+            change = np.flatnonzero(np.diff(src)) + 1
+            starts = np.concatenate(([0], change))
+            seg_rows = src[starts] - part.start
+            z_slice[seg_rows] += np.add.reduceat(contrib, starts, axis=0)
+
+    run_partitioned(A, Z, kernel, config=ParallelConfig(num_threads, parts_per_thread))
+    return Z.astype(X.dtype)
+
+
+def fr_layout_kernel(
+    A,
+    X,
+    Y=None,
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    num_threads: int = 1,
+    parts_per_thread: int = 1,
+) -> np.ndarray:
+    """Fused force-directed-layout kernel (attractive forces):
+    ``z_u = Σ_v 1/(1+‖x_u−y_v‖²) · (x_u−y_v)``.
+
+    The per-edge message here is a *d-dimensional vector*, which is exactly
+    the case where the unfused pipeline's intermediate H costs ``nnz × d``
+    floats (the out-of-memory column of Table VI and Fig. 10b); the fused
+    kernel keeps only one block of differences alive at a time.
+    """
+    A, X, Y = validate_operands(A, X, Y)
+    m, d = X.shape
+    Z = np.zeros((m, d), dtype=np.float64)
+    indptr, indices, data = A.indptr, A.indices, A.data
+    edge_rows = np.repeat(np.arange(m, dtype=np.int64), A.row_degrees())
+
+    def kernel(part: RowPartition, z_slice: np.ndarray) -> None:
+        lo, hi = int(indptr[part.start]), int(indptr[part.stop])
+        for e0, e1 in _edge_block_ranges(lo, hi, block_size):
+            src = edge_rows[e0:e1]
+            dst = indices[e0:e1]
+            diff = X[src] - Y[dst]
+            dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            force = 1.0 / (1.0 + np.square(dist))
+            contrib = force[:, None] * diff
+            change = np.flatnonzero(np.diff(src)) + 1
+            starts = np.concatenate(([0], change))
+            seg_rows = src[starts] - part.start
+            z_slice[seg_rows] += np.add.reduceat(contrib, starts, axis=0)
+
+    run_partitioned(A, Z, kernel, config=ParallelConfig(num_threads, parts_per_thread))
+    return Z.astype(X.dtype)
+
+
+def spmm_kernel(
+    A,
+    Y,
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    num_threads: int = 1,
+    parts_per_thread: int = 1,
+) -> np.ndarray:
+    """SpMM specialisation of FusedMM: ``Z = A · Y``.
+
+    This is the kernel compared against MKL in Table VII and the
+    aggregation used by GCN (Table III row 3).  Note it takes only ``A``
+    and ``Y`` — the GCN pattern ignores the source features entirely.
+    """
+    from ..sparse import as_csr
+
+    A = as_csr(A)
+    Y = np.ascontiguousarray(Y)
+    if Y.ndim != 2 or Y.shape[0] != A.ncols:
+        raise ValueError(
+            f"Y must have shape ({A.ncols}, d) for A of shape {A.shape}, got {Y.shape}"
+        )
+    m = A.nrows
+    Z = np.zeros((m, Y.shape[1]), dtype=np.float64)
+    indptr, indices, data = A.indptr, A.indices, A.data
+    edge_rows = np.repeat(np.arange(m, dtype=np.int64), A.row_degrees())
+
+    def kernel(part: RowPartition, z_slice: np.ndarray) -> None:
+        lo, hi = int(indptr[part.start]), int(indptr[part.stop])
+        for e0, e1 in _edge_block_ranges(lo, hi, block_size):
+            src = edge_rows[e0:e1]
+            dst = indices[e0:e1]
+            vals = data[e0:e1]
+            contrib = vals[:, None] * Y[dst]
+            change = np.flatnonzero(np.diff(src)) + 1
+            starts = np.concatenate(([0], change))
+            seg_rows = src[starts] - part.start
+            z_slice[seg_rows] += np.add.reduceat(contrib, starts, axis=0)
+
+    run_partitioned(A, Z, kernel, config=ParallelConfig(num_threads, parts_per_thread))
+    return Z.astype(Y.dtype if np.issubdtype(Y.dtype, np.floating) else np.float32)
+
+
+def gcn_kernel(
+    A,
+    X,
+    Y=None,
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    num_threads: int = 1,
+    parts_per_thread: int = 1,
+) -> np.ndarray:
+    """GCN aggregation specialisation — identical math to :func:`spmm_kernel`
+    but with the standard (A, X, Y) FusedMM signature so the dispatcher can
+    call it interchangeably with the other specializations."""
+    A_csr, X_arr, Y_arr = validate_operands(A, X, Y)
+    return spmm_kernel(
+        A_csr,
+        Y_arr,
+        block_size=block_size,
+        num_threads=num_threads,
+        parts_per_thread=parts_per_thread,
+    ).astype(X_arr.dtype)
+
+
+def get_specialized_kernel(pattern: ResolvedPattern) -> Optional[Callable]:
+    """Return the specialized kernel for a resolved pattern, or ``None``.
+
+    The mapping mirrors Section IV: the library recognises the op tuples of
+    the first three rows of Table III and substitutes its tuned kernels;
+    everything else falls back to the general optimized implementation.
+    """
+    if pattern.is_sigmoid_embedding:
+        return sigmoid_embedding_kernel
+    if pattern.is_fr_layout:
+        return fr_layout_kernel
+    if pattern.is_spmm_like:
+        return gcn_kernel
+    return None

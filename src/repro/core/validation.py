@@ -1,0 +1,67 @@
+"""Input validation shared by every FusedMM backend.
+
+All kernels accept the same three operands as the paper (Fig. 2):
+
+``A``  an ``m × n`` sparse adjacency slice (CSR),
+``X``  an ``m × d`` dense matrix of source-vertex features,
+``Y``  an ``n × d`` dense matrix of destination-vertex features,
+
+and produce ``Z`` of shape ``m × d``.  This module centralises the shape
+and dtype checks so the backends can assume well-formed inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import DTypeError, ShapeError
+from ..sparse import CSRMatrix, as_csr
+
+__all__ = ["validate_operands", "ensure_float_matrix"]
+
+
+def ensure_float_matrix(arr: np.ndarray, name: str, *, dtype=np.float32) -> np.ndarray:
+    """Return ``arr`` as a C-contiguous 2-D float array, converting integer
+    inputs and rejecting anything else."""
+    arr = np.asarray(arr)
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be a 2-D matrix, got ndim={arr.ndim}")
+    if np.issubdtype(arr.dtype, np.integer) or np.issubdtype(arr.dtype, np.bool_):
+        arr = arr.astype(dtype)
+    if not np.issubdtype(arr.dtype, np.floating):
+        raise DTypeError(f"{name} must have a floating dtype, got {arr.dtype}")
+    return np.ascontiguousarray(arr)
+
+
+def validate_operands(A, X, Y=None) -> Tuple[CSRMatrix, np.ndarray, np.ndarray]:
+    """Validate and canonicalise the (A, X, Y) operand triple.
+
+    ``Y`` defaults to ``X`` when omitted and ``A`` is square — the common
+    whole-graph case where source and destination features coincide.
+    """
+    A = as_csr(A)
+    X = ensure_float_matrix(X, "X")
+    if Y is None:
+        if A.nrows != A.ncols:
+            raise ShapeError(
+                "Y may only be omitted for square A; got shape "
+                f"{A.shape} — pass the full-vertex feature matrix explicitly"
+            )
+        Y = X
+    else:
+        Y = ensure_float_matrix(Y, "Y")
+    if X.shape[0] != A.nrows:
+        raise ShapeError(
+            f"X must have one row per row of A: X has {X.shape[0]}, A has {A.nrows}"
+        )
+    if Y.shape[0] != A.ncols:
+        raise ShapeError(
+            f"Y must have one row per column of A: Y has {Y.shape[0]}, A has {A.ncols}"
+        )
+    if X.shape[1] != Y.shape[1]:
+        raise ShapeError(
+            f"X and Y must share the feature dimension: {X.shape[1]} != {Y.shape[1]}"
+        )
+    return A, X, Y

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Keeping a small, explicit hierarchy lets callers distinguish usage errors
+(bad shapes, unknown operators) from internal invariant violations without
+matching on message strings.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Raised when matrix/vector operands have incompatible shapes."""
+
+
+class DTypeError(ReproError, TypeError):
+    """Raised when an operand has an unsupported dtype."""
+
+
+class SparseFormatError(ReproError, ValueError):
+    """Raised when a sparse matrix is structurally invalid (e.g. unsorted
+    or out-of-range indices, non-monotonic row pointers)."""
+
+
+class OperatorError(ReproError, ValueError):
+    """Raised when an unknown operator name is requested or a user-defined
+    operator violates the I/O contract of its FusedMM step."""
+
+
+class PatternError(ReproError, ValueError):
+    """Raised when an application pattern name is unknown or its operator
+    tuple is inconsistent (e.g. ROP=NOOP but SOP expects a scalar)."""
+
+
+class BackendError(ReproError, ValueError):
+    """Raised when an unknown kernel backend is requested or a backend
+    cannot execute the requested pattern."""
+
+
+class PartitionError(ReproError, ValueError):
+    """Raised for invalid partitioning requests (e.g. non-positive part
+    count)."""
+
+
+class CodegenError(ReproError, RuntimeError):
+    """Raised when kernel code generation or compilation fails."""
+
+
+class DatasetError(ReproError, KeyError):
+    """Raised when an unknown dataset is requested from the registry."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """Raised when an iterative application (training loop, layout) fails
+    to make progress under the configured limits."""

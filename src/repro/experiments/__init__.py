@@ -1,0 +1,31 @@
+"""Paper experiments — one module per table/figure of the evaluation
+section (see DESIGN.md's per-experiment index and the registry in
+:mod:`repro.experiments.registry`)."""
+
+from . import (
+    ablations,
+    accuracy_f1,
+    fig7_roofline,
+    fig8_arm,
+    fig9_amd,
+    fig10_scaling_memory,
+    fig11_sensitivity,
+    table5_datasets,
+    table6_kernels,
+    table7_spmm_mkl,
+    table8_end2end,
+)
+
+__all__ = [
+    "table5_datasets",
+    "table6_kernels",
+    "table7_spmm_mkl",
+    "table8_end2end",
+    "fig7_roofline",
+    "fig8_arm",
+    "fig9_amd",
+    "fig10_scaling_memory",
+    "fig11_sensitivity",
+    "accuracy_f1",
+    "ablations",
+]

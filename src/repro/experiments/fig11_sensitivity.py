@@ -1,0 +1,110 @@
+"""Experiment: Fig. 11 — parameter sensitivity.
+
+Fig. 11(a): FusedMM-over-DGL speedup on RMAT graphs with 100K vertices as
+the average degree grows from 10 to 140 (the speedup increases with
+density, for both the FR model and graph embedding).
+
+Fig. 11(b): kernel time of FusedMM and DGL on the Flickr graph as the
+feature dimension grows from 64 to 1024 (both grow with d, FusedMM stays
+faster everywhere and the gap widens).
+
+Both sweeps are regenerated here with the package's own RMAT generator and
+the synthetic Flickr twin.  The vertex count of the degree sweep is scaled
+down (configurable) so the whole figure regenerates quickly; the property
+under test — the monotone trends — does not depend on the absolute size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..bench.harness import compare_kernels
+from ..bench.sweep import degree_sweep_graphs, dimension_sweep
+from ..bench.tables import format_table
+from ..graphs.datasets import load_dataset
+
+__all__ = ["PAPER_FIG11_SHAPE", "run_degree_sweep", "run_dimension_sweep", "main"]
+
+PAPER_FIG11_SHAPE = (
+    "Fig. 11(a): the FusedMM-over-DGL speedup increases with the average degree "
+    "(roughly 8x at degree 20 to 16x at degree 140 for the FR model). "
+    "Fig. 11(b): both kernels slow down as d grows on Flickr; FusedMM is faster for "
+    "every d and the gap widens with d."
+)
+
+FAST_DEGREES = (4, 8, 16, 32)
+FULL_DEGREES = (10, 20, 40, 80, 140)
+FAST_DIMS = (64, 128, 256)
+FULL_DIMS = (64, 128, 256, 512, 1024)
+
+
+def run_degree_sweep(
+    *,
+    num_vertices: int = 20000,
+    avg_degrees: Sequence[float] | None = None,
+    applications: Sequence[str] = ("fr_layout", "sigmoid_embedding"),
+    d: int = 128,
+    full: bool = False,
+    repeats: int = 2,
+    seed: int = 0,
+) -> List[Dict]:
+    """Fig. 11(a): speedup over the unfused baseline vs average degree."""
+    degrees = tuple(avg_degrees) if avg_degrees is not None else (
+        FULL_DEGREES if full else FAST_DEGREES
+    )
+    rows: List[Dict] = []
+    for item in degree_sweep_graphs(num_vertices, degrees, seed=seed):
+        for pattern in applications:
+            row = compare_kernels(
+                f"rmat-deg{item.target_avg_degree:g}",
+                item.graph,
+                d,
+                pattern=pattern,
+                app_name=pattern,
+                repeats=repeats,
+                include_generic=False,
+            )
+            row["target_avg_degree"] = item.target_avg_degree
+            row["realised_avg_degree"] = round(item.realised_avg_degree, 2)
+            rows.append(row)
+    return rows
+
+
+def run_dimension_sweep(
+    *,
+    graph: str = "flickr",
+    dims: Sequence[int] | None = None,
+    pattern: str = "sigmoid_embedding",
+    full: bool = False,
+    scale: float = 1.0,
+    repeats: int = 2,
+) -> List[Dict]:
+    """Fig. 11(b): kernel time vs feature dimension on Flickr."""
+    dims = dimension_sweep(dims if dims is not None else (FULL_DIMS if full else FAST_DIMS))
+    g = load_dataset(graph, scale=scale)
+    rows: List[Dict] = []
+    for d in dims:
+        row = compare_kernels(
+            graph,
+            g.adjacency,
+            d,
+            pattern=pattern,
+            app_name="embedding",
+            repeats=repeats,
+            include_generic=False,
+        )
+        rows.append(row)
+    return rows
+
+
+def main(full: bool = False) -> None:
+    """Print both sensitivity sweeps."""
+    print(PAPER_FIG11_SHAPE)
+    print()
+    print(format_table(run_degree_sweep(full=full), title="Fig. 11(a) — speedup vs average degree (RMAT)"))
+    print()
+    print(format_table(run_dimension_sweep(full=full), title="Fig. 11(b) — kernel time vs dimension (Flickr twin)"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,129 @@
+"""Experiment: Fig. 8 — kernel time on the ARM ThunderX server.
+
+The paper's Fig. 8 compares DGL against FusedMM on an ARM ThunderX CN8890
+for four graphs (Harvard, Flickr, Amazon, Youtube) and three applications
+(FR model, graph embedding, GCN) at d = 128, reporting FusedMM speedups of
+roughly 2.5–19×.
+
+No ARM hardware is available to this reproduction, so the figure is
+regenerated in two parts (the substitution is documented in DESIGN.md):
+
+1. **measured** — the same DGL-vs-FusedMM comparison is run on the host,
+   which establishes the fused-vs-unfused speedup per graph/application on
+   this substrate;
+2. **modelled** — the roofline machine model of
+   :mod:`repro.perf.machine`, instantiated with the ThunderX profile of
+   Table IV and calibrated with one host measurement, predicts the absolute
+   kernel times on the ARM server for both kernels, from which the
+   modelled speedup follows.
+
+The claim under test is that the fused kernel's advantage persists across
+architectures because it is rooted in memory traffic, which the ThunderX's
+lower bandwidth amplifies rather than hides.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..bench.harness import compare_kernels
+from ..bench.tables import format_table
+from ..graphs.datasets import load_dataset
+from ..perf.machine import MACHINES, calibrate_efficiency, predict_kernel_time
+
+__all__ = ["PAPER_FIG8_SPEEDUPS", "run", "main", "MACHINE_KEY"]
+
+MACHINE_KEY = "arm_thunderx_cn8890"
+
+#: FusedMM-over-DGL speedups read off the paper's Fig. 8 bars (d=128).
+PAPER_FIG8_SPEEDUPS: Dict[tuple, float] = {
+    ("harvard", "fr"): 19.2,
+    ("flickr", "fr"): 13.6,
+    ("amazon", "fr"): 4.1,
+    ("youtube", "fr"): 11.0,
+    ("harvard", "embedding"): 7.3,
+    ("flickr", "embedding"): 11.3,
+    ("amazon", "embedding"): 1.4,
+    ("youtube", "embedding"): 12.4,
+    ("harvard", "gcn"): 18.1,
+    ("flickr", "gcn"): 10.8,
+    ("amazon", "gcn"): 2.5,
+    ("youtube", "gcn"): 10.4,
+}
+
+APPLICATIONS = {"fr": "fr_layout", "embedding": "sigmoid_embedding", "gcn": "gcn"}
+DEFAULT_GRAPHS = ("harvard", "flickr", "amazon", "youtube")
+
+
+def run(
+    *,
+    graphs: Sequence[str] = DEFAULT_GRAPHS,
+    applications: Sequence[str] = tuple(APPLICATIONS),
+    d: int = 128,
+    scale: float = 1.0,
+    repeats: int = 2,
+    machine_key: str = MACHINE_KEY,
+) -> List[Dict]:
+    """Measured host comparison + modelled target-machine prediction."""
+    machine = MACHINES[machine_key]
+    rows: List[Dict] = []
+    for graph_name in graphs:
+        graph = load_dataset(graph_name, scale=scale)
+        A = graph.adjacency
+        for app in applications:
+            pattern = APPLICATIONS[app]
+            measured = compare_kernels(
+                graph_name,
+                A,
+                d,
+                pattern=pattern,
+                app_name=app,
+                repeats=repeats,
+                include_generic=False,
+            )
+            scalar = pattern != "fr_layout"
+            # Calibrate the model once per case from the host's fused time,
+            # then reuse the efficiency for both kernels on the target.
+            eff = calibrate_efficiency(
+                measured["fusedmmopt_s"], A, d, "intel_skylake_8160", pattern=pattern,
+                fused=True, scalar_messages=scalar, num_threads=1,
+            )
+            t_fused = predict_kernel_time(
+                A, d, machine, pattern=pattern, fused=True,
+                scalar_messages=scalar, efficiency=eff,
+            )
+            t_unfused = predict_kernel_time(
+                A, d, machine, pattern=pattern, fused=False,
+                scalar_messages=scalar, efficiency=eff,
+            )
+            row = {
+                "graph": graph_name,
+                "app": app,
+                "d": d,
+                "host_dgl_s": measured["dgl_s"],
+                "host_fusedmm_s": measured["fusedmmopt_s"],
+                "host_speedup": measured["speedup_opt_vs_dgl"],
+                "model_dgl_s": t_unfused,
+                "model_fusedmm_s": t_fused,
+                "model_speedup": t_unfused / max(t_fused, 1e-12),
+            }
+            key = (graph_name, app)
+            if key in PAPER_FIG8_SPEEDUPS:
+                row["paper_speedup"] = PAPER_FIG8_SPEEDUPS[key]
+            rows.append(row)
+    return rows
+
+
+def main() -> None:
+    """Print the regenerated Fig. 8 comparison."""
+    print(
+        format_table(
+            run(),
+            title=f"Fig. 8 — DGL vs FusedMM on {MACHINES[MACHINE_KEY].name} "
+            "(host-measured speedups + machine-model prediction)",
+        )
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,74 @@
+"""Experiment: Fig. 9 — kernel time on the AMD EPYC server.
+
+Same structure as :mod:`repro.experiments.fig8_arm` but for the AMD EPYC
+7551 platform and the two applications the paper shows there (FR model and
+graph embedding), with FusedMM speedups of roughly 1.5–11.4×.  See the ARM
+module and DESIGN.md for the measured-plus-modelled substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..bench.tables import format_table
+from ..perf.machine import MACHINES
+from .fig8_arm import APPLICATIONS, run as _run_on_machine
+
+__all__ = ["PAPER_FIG9_SPEEDUPS", "run", "main", "MACHINE_KEY"]
+
+MACHINE_KEY = "amd_epyc_7551"
+
+#: FusedMM-over-DGL speedups read off the paper's Fig. 9 bars (d=128).
+PAPER_FIG9_SPEEDUPS: Dict[tuple, float] = {
+    ("harvard", "fr"): 11.4,
+    ("flickr", "fr"): 5.9,
+    ("amazon", "fr"): 2.7,
+    ("youtube", "fr"): 5.6,
+    ("harvard", "embedding"): 3.6,
+    ("flickr", "embedding"): 2.6,
+    ("amazon", "embedding"): 1.5,
+    ("youtube", "embedding"): 4.8,
+}
+
+DEFAULT_GRAPHS = ("harvard", "flickr", "amazon", "youtube")
+DEFAULT_APPS = ("fr", "embedding")
+
+
+def run(
+    *,
+    graphs: Sequence[str] = DEFAULT_GRAPHS,
+    applications: Sequence[str] = DEFAULT_APPS,
+    d: int = 128,
+    scale: float = 1.0,
+    repeats: int = 2,
+) -> List[Dict]:
+    """Measured host comparison + EPYC machine-model prediction."""
+    rows = _run_on_machine(
+        graphs=graphs,
+        applications=applications,
+        d=d,
+        scale=scale,
+        repeats=repeats,
+        machine_key=MACHINE_KEY,
+    )
+    for row in rows:
+        key = (row["graph"], row["app"])
+        row.pop("paper_speedup", None)
+        if key in PAPER_FIG9_SPEEDUPS:
+            row["paper_speedup"] = PAPER_FIG9_SPEEDUPS[key]
+    return rows
+
+
+def main() -> None:
+    """Print the regenerated Fig. 9 comparison."""
+    print(
+        format_table(
+            run(),
+            title=f"Fig. 9 — DGL vs FusedMM on {MACHINES[MACHINE_KEY].name} "
+            "(host-measured speedups + machine-model prediction)",
+        )
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

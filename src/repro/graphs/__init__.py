@@ -1,0 +1,50 @@
+"""Graph substrate: containers, generators, datasets and feature init."""
+
+from .datasets import (
+    PAPER_DATASETS,
+    DatasetSpec,
+    dataset_spec,
+    list_datasets,
+    load_dataset,
+    paper_table5,
+)
+from .features import (
+    degree_features,
+    one_hot_labels,
+    random_features,
+    uniform_features,
+    xavier_init,
+)
+from .generators import (
+    barabasi_albert,
+    clique_chain,
+    erdos_renyi,
+    power_law_configuration,
+    regular_grid,
+    rmat,
+    star,
+)
+from .graph import Graph, GraphStats
+
+__all__ = [
+    "Graph",
+    "GraphStats",
+    "DatasetSpec",
+    "PAPER_DATASETS",
+    "dataset_spec",
+    "list_datasets",
+    "load_dataset",
+    "paper_table5",
+    "random_features",
+    "uniform_features",
+    "one_hot_labels",
+    "degree_features",
+    "xavier_init",
+    "rmat",
+    "erdos_renyi",
+    "barabasi_albert",
+    "power_law_configuration",
+    "regular_grid",
+    "star",
+    "clique_chain",
+]

@@ -1,0 +1,135 @@
+"""Graph container tying together adjacency structure, features and labels.
+
+A :class:`Graph` is a thin, immutable-by-convention wrapper around a CSR
+adjacency matrix plus optional node features and labels.  It is the object
+the applications (:mod:`repro.apps`) and the experiments consume; the
+kernels themselves only see the CSR matrix and dense feature arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..sparse import CSRMatrix, as_csr
+
+__all__ = ["Graph", "GraphStats"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a graph, matching the columns of Table V."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    avg_degree: float
+    max_degree: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Dictionary usable as a row of the regenerated Table V."""
+        return {
+            "graph": self.name,
+            "vertices": self.num_vertices,
+            "edges": self.num_edges,
+            "avg_degree": round(self.avg_degree, 2),
+            "max_degree": self.max_degree,
+        }
+
+
+@dataclass
+class Graph:
+    """A graph with adjacency, optional features and optional labels.
+
+    Parameters
+    ----------
+    adjacency:
+        CSR adjacency matrix (square for whole graphs; rectangular slices
+        are produced by :meth:`subgraph`).
+    features:
+        Optional dense node-feature matrix with one row per vertex.
+    labels:
+        Optional integer class labels, one per vertex (used by the node
+        classification evaluation of Section V.D).
+    name:
+        Human-readable name used in reports.
+    """
+
+    adjacency: CSRMatrix
+    features: Optional[np.ndarray] = None
+    labels: Optional[np.ndarray] = None
+    name: str = "graph"
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.adjacency = as_csr(self.adjacency)
+        if self.features is not None:
+            self.features = np.ascontiguousarray(self.features, dtype=np.float32)
+            if self.features.shape[0] != self.adjacency.nrows:
+                raise ShapeError(
+                    "features must have one row per vertex: "
+                    f"{self.features.shape[0]} != {self.adjacency.nrows}"
+                )
+        if self.labels is not None:
+            self.labels = np.ascontiguousarray(self.labels, dtype=np.int64)
+            if self.labels.shape[0] != self.adjacency.nrows:
+                raise ShapeError(
+                    "labels must have one entry per vertex: "
+                    f"{self.labels.shape[0]} != {self.adjacency.nrows}"
+                )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (rows of the adjacency matrix)."""
+        return self.adjacency.nrows
+
+    @property
+    def num_edges(self) -> int:
+        """Number of stored directed edges (nnz of the adjacency matrix)."""
+        return self.adjacency.nnz
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct labels (0 when the graph is unlabeled)."""
+        if self.labels is None or self.labels.size == 0:
+            return 0
+        return int(self.labels.max()) + 1
+
+    def stats(self) -> GraphStats:
+        """Summary statistics in the shape of a Table V row."""
+        return GraphStats(
+            name=self.name,
+            num_vertices=self.num_vertices,
+            num_edges=self.num_edges,
+            avg_degree=self.adjacency.avg_degree(),
+            max_degree=self.adjacency.max_degree(),
+        )
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex."""
+        return self.adjacency.row_degrees()
+
+    def subgraph(self, rows: np.ndarray) -> "Graph":
+        """Return the induced *row* slice used for minibatching: the
+        adjacency rows of the requested vertices (columns untouched, so the
+        result is rectangular, exactly the ``m × n`` slice of Fig. 2)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        adj = self.adjacency.select_rows(rows)
+        feats = None if self.features is None else self.features[rows]
+        labels = None if self.labels is None else self.labels[rows]
+        return Graph(adj, feats, labels, name=f"{self.name}[batch]", meta=dict(self.meta))
+
+    def with_features(self, features: np.ndarray) -> "Graph":
+        """Return a copy of the graph carrying the given features."""
+        return Graph(self.adjacency, features, self.labels, self.name, dict(self.meta))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Graph(name={self.name!r}, vertices={self.num_vertices}, "
+            f"edges={self.num_edges}, features="
+            f"{None if self.features is None else self.features.shape})"
+        )

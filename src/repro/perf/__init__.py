@@ -1,0 +1,54 @@
+"""Performance substrate: timing, flop/traffic/memory models, roofline,
+machine profiles and scaling harnesses."""
+
+from .flops import fusedmm_flops, pattern_flops
+from .machine import (
+    MACHINES,
+    MachineProfile,
+    calibrate_efficiency,
+    predict_kernel_time,
+    traffic_bytes,
+)
+from .memory import (
+    MemoryEstimate,
+    fusedmm_memory_bytes,
+    measure_peak_allocation,
+    memory_model_sweep,
+)
+from .roofline import (
+    RooflinePoint,
+    arithmetic_intensity,
+    arithmetic_intensity_formula,
+    attainable_gflops,
+    measure_stream_bandwidth,
+    roofline_point,
+)
+from .scaling import ScalingPoint, modeled_scaling_curve, strong_scaling
+from .timer import Stopwatch, Timing, stopwatch, time_kernel
+
+__all__ = [
+    "pattern_flops",
+    "fusedmm_flops",
+    "traffic_bytes",
+    "MachineProfile",
+    "MACHINES",
+    "predict_kernel_time",
+    "calibrate_efficiency",
+    "MemoryEstimate",
+    "fusedmm_memory_bytes",
+    "memory_model_sweep",
+    "measure_peak_allocation",
+    "arithmetic_intensity",
+    "arithmetic_intensity_formula",
+    "attainable_gflops",
+    "measure_stream_bandwidth",
+    "RooflinePoint",
+    "roofline_point",
+    "ScalingPoint",
+    "strong_scaling",
+    "modeled_scaling_curve",
+    "Timing",
+    "time_kernel",
+    "Stopwatch",
+    "stopwatch",
+]

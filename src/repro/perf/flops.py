@@ -1,0 +1,58 @@
+"""Floating-point operation counts for FusedMM patterns.
+
+Section IV.C of the paper estimates the computational complexity of
+FusedMM as ``O(d · nnz)``: each of the five steps does O(d) work per stored
+entry of A.  The roofline analysis (Fig. 7) counts "both addition and
+multiplications as floating point operations", giving ``2·d·nnz`` flops for
+the SDDMM half (multiply + add of the dot product) and ``2·d·nnz`` for the
+SpMM half — ``4·d·nnz`` total for the embedding pattern.
+
+These counts feed the GFLOP/s numbers of the roofline experiment; they are
+*model* counts (what the algorithm must do), not hardware counter readings.
+"""
+
+from __future__ import annotations
+
+from ..core.patterns import OpPattern, get_pattern
+from ..sparse import as_csr
+
+__all__ = ["pattern_flops", "fusedmm_flops"]
+
+#: Per-edge, per-dimension flop factors of each step for the standard ops.
+_STEP_FLOPS = {
+    # VOP: one op per element
+    "vop": {"MUL": 1, "ADD": 1, "SUB": 1, "SEL1ST": 0, "SEL2ND": 0, "EDGESCALE": 1, "NOOP": 0},
+    # ROP: one op per element to reduce, NORM adds a sqrt (counted as 1 per edge, amortised to ~0 per element)
+    "rop": {"RSUM": 1, "RMUL": 1, "RMAX": 1, "NORM": 2, "NOOP": 0},
+    # SOP acts on a scalar (when ROP reduces) or a vector; cost counted per element of its input
+    "sop": {"SIGMOID": 4, "TDIST": 3, "RELU": 1, "TANH": 4, "EXP": 2, "SCAL": 1, "NOOP": 0},
+    # MOP: one multiply per element
+    "mop": {"MUL": 1, "MULDIFF": 1, "EDGESCALE": 1, "SEL1ST": 0, "SEL2ND": 0, "ADD": 1, "SUB": 1, "NOOP": 0},
+    # AOP: one add/max per element
+    "aop": {"ASUM": 1, "AMAX": 1, "AMIN": 1},
+}
+
+
+def pattern_flops(pattern: OpPattern | str, d: int, nnz: int, **overrides) -> int:
+    """Model flop count of one FusedMM call with the given pattern.
+
+    Unknown (user-defined) operators are charged one flop per element,
+    which keeps the estimate conservative.
+    """
+    resolved = get_pattern(pattern, **overrides).resolved()
+    names = resolved.op_names()
+    scalar_msg = resolved.message_is_scalar
+
+    per_edge = 0.0
+    per_edge += _STEP_FLOPS["vop"].get(names["vop"], 1) * d
+    per_edge += _STEP_FLOPS["rop"].get(names["rop"], 1) * (d if not resolved.rop.is_noop else 0)
+    sop_cost = _STEP_FLOPS["sop"].get(names["sop"], 1)
+    per_edge += sop_cost * (1 if scalar_msg else d)
+    per_edge += _STEP_FLOPS["mop"].get(names["mop"], 1) * d
+    per_edge += _STEP_FLOPS["aop"].get(names["aop"], 1) * d
+    return int(per_edge * nnz)
+
+
+def fusedmm_flops(A, d: int, pattern: OpPattern | str = "sigmoid_embedding", **overrides) -> int:
+    """Convenience wrapper taking the sparse matrix directly."""
+    return pattern_flops(pattern, d, as_csr(A).nnz, **overrides)

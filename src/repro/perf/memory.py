@@ -1,0 +1,113 @@
+"""Memory models and measurement (Section IV.C, Fig. 10b).
+
+The paper's memory accounting with 8-byte indices and single-precision
+values is:
+
+* FusedMM operands: ``8·m·d`` (X and Z) + ``4·n·d`` (Y) + ``12·nnz`` (A)
+  bytes — **independent of d for the sparse part**;
+* the unfused pipeline additionally stores the intermediate message matrix
+  H, costing ``12·nnz`` bytes for scalar messages and ``12·nnz·d`` bytes
+  for d-dimensional messages (the FR-layout case plotted in Fig. 10b).
+
+:func:`fusedmm_memory_bytes` and
+:func:`repro.baselines.unfused.unfused_memory_bytes` implement that model;
+:func:`measure_peak_allocation` measures actual allocation with
+``tracemalloc`` so the model can be cross-checked on this substrate.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ..core.patterns import OpPattern, get_pattern
+from ..sparse import as_csr
+
+__all__ = [
+    "MemoryEstimate",
+    "fusedmm_memory_bytes",
+    "memory_model_sweep",
+    "measure_peak_allocation",
+]
+
+INDEX_BYTES = 8
+VALUE_BYTES = 4
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Byte accounting of one kernel invocation."""
+
+    operands_bytes: int
+    intermediate_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Operands + intermediates."""
+        return self.operands_bytes + self.intermediate_bytes
+
+    @property
+    def total_megabytes(self) -> float:
+        """Total in MB (the unit of Fig. 10b)."""
+        return self.total_bytes / (1024.0 * 1024.0)
+
+
+def fusedmm_memory_bytes(
+    A,
+    d: int,
+    *,
+    block_size: int = 0,
+    value_bytes: int = VALUE_BYTES,
+    index_bytes: int = INDEX_BYTES,
+) -> MemoryEstimate:
+    """Memory requirement of the fused kernel per Section IV.C:
+    ``8md + 4nd + 12nnz`` bytes of operands plus (for the Python
+    edge-blocked kernel) one block of ``block_size × d`` intermediates."""
+    A = as_csr(A)
+    m, n, nnz = A.nrows, A.ncols, A.nnz
+    operands = 2 * value_bytes * m * d + value_bytes * n * d + (index_bytes + value_bytes) * nnz
+    intermediate = value_bytes * block_size * d if block_size else 0
+    return MemoryEstimate(operands_bytes=operands, intermediate_bytes=intermediate)
+
+
+def memory_model_sweep(
+    A,
+    dims,
+    *,
+    pattern: OpPattern | str = "fr_layout",
+) -> Dict[int, Dict[str, float]]:
+    """The Fig. 10(b) sweep: fused vs unfused memory (MB) as d grows.
+
+    Returns ``{d: {"fusedmm_mb": ..., "unfused_mb": ...}}``.
+    """
+    from ..baselines.unfused import unfused_memory_bytes
+
+    A = as_csr(A)
+    out: Dict[int, Dict[str, float]] = {}
+    for d in dims:
+        fused = fusedmm_memory_bytes(A, int(d))
+        unfused = unfused_memory_bytes(A, int(d), pattern=pattern)
+        out[int(d)] = {
+            "fusedmm_mb": fused.total_megabytes,
+            "unfused_mb": unfused / (1024.0 * 1024.0),
+        }
+    return out
+
+
+def measure_peak_allocation(fn: Callable, *args, **kwargs) -> Dict[str, float]:
+    """Run ``fn`` under ``tracemalloc`` and report the peak Python-level
+    allocation in MB alongside the function's return value size when it is
+    an ndarray.  Used to cross-check the analytical model on this
+    substrate (absolute values differ from the paper's RSS measurements,
+    but the *growth with d* is the property being reproduced)."""
+    tracemalloc.start()
+    try:
+        result = fn(*args, **kwargs)
+        current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    out = {"peak_mb": peak / (1024.0 * 1024.0), "current_mb": current / (1024.0 * 1024.0)}
+    if hasattr(result, "nbytes"):
+        out["result_mb"] = float(result.nbytes) / (1024.0 * 1024.0)
+    return out

@@ -1,0 +1,137 @@
+"""Arithmetic intensity and roofline analysis (Eq. 4, Fig. 7).
+
+Eq. 4 of the paper bounds the arithmetic intensity (AI) of FusedMM as
+
+``AI > (2dmδ + 2dmδ) / (12mδ + 8md + 4dmδ) = δ / (3δ/d + 2 + δ)``
+
+where ``δ`` is the average degree and ``d`` the feature dimension: for a
+typical ``d = 128`` the AI is essentially determined by the graph's
+sparsity, it approaches 1 for dense graphs and drops to 1/6 in the
+degenerate ``δ = d = 1`` case — FusedMM is memory-bound everywhere, so the
+attainable GFLOP/s is ``min(peak, AI × bandwidth)``.
+
+This module computes the AI (both the closed form and the exact
+counts-based value), measures attained GFLOP/s from a timed kernel run,
+estimates the host's sustainable ("STREAM") bandwidth with a triad-like
+NumPy loop, and packages everything into the rows the Fig. 7 experiment
+prints.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.patterns import OpPattern
+from ..sparse import as_csr
+from .flops import pattern_flops
+from .machine import traffic_bytes
+
+__all__ = [
+    "arithmetic_intensity_formula",
+    "arithmetic_intensity",
+    "attainable_gflops",
+    "measure_stream_bandwidth",
+    "RooflinePoint",
+    "roofline_point",
+]
+
+
+def arithmetic_intensity_formula(avg_degree: float, d: int) -> float:
+    """The closed-form lower bound of Eq. 4:
+    ``AI = δ / (3δ/d + 2 + δ)``."""
+    if avg_degree <= 0 or d <= 0:
+        return 0.0
+    delta = float(avg_degree)
+    return delta / (3.0 * delta / d + 2.0 + delta)
+
+
+def arithmetic_intensity(A, d: int, *, pattern: OpPattern | str = "sigmoid_embedding") -> float:
+    """Exact arithmetic intensity from the flop and traffic models:
+    the paper's Eq. 4 numerator counts 2 flops per element for each of the
+    SDDMM and SpMM halves (``4·d·nnz`` total), which is what
+    :func:`pattern_flops` reports for the embedding pattern."""
+    A = as_csr(A)
+    flops = pattern_flops(pattern, d, A.nnz)
+    bytes_moved = traffic_bytes(A, d, fused=True)
+    return float(flops) / max(bytes_moved, 1)
+
+
+def attainable_gflops(ai: float, bandwidth_gbs: float, peak_gflops: float = float("inf")) -> float:
+    """Roofline ceiling at arithmetic intensity ``ai``:
+    ``min(peak, ai × bandwidth)``."""
+    return float(min(peak_gflops, ai * bandwidth_gbs))
+
+
+def measure_stream_bandwidth(size_mb: float = 64.0, repeats: int = 3) -> float:
+    """Measure the host's sustainable memory bandwidth (GB/s) with a
+    STREAM-triad-like kernel ``a = b + s*c`` on arrays too large for cache.
+
+    This plays the role of the paper's "STREAM bandwidth on this server is
+    100 GB/s" calibration of the roofline plot.
+    """
+    n = max(1, int(size_mb * 1024 * 1024 / 8 / 3))  # three float64 arrays
+    b = np.random.default_rng(0).random(n)
+    c = np.random.default_rng(1).random(n)
+    best = 0.0
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        a = b + 0.5 * c
+        elapsed = time.perf_counter() - t0
+        # triad moves 3 arrays (2 reads + 1 write) of 8 bytes per element
+        gbs = 3 * 8 * n / elapsed / 1e9
+        best = max(best, gbs)
+        del a
+    return best
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One graph's point on the roofline plot of Fig. 7."""
+
+    graph: str
+    arithmetic_intensity: float
+    attained_gflops: float
+    attainable_gflops: float
+    bandwidth_gbs: float
+    kernel_seconds: float
+
+    def as_row(self) -> Dict[str, float]:
+        """Table-row view."""
+        return {
+            "graph": self.graph,
+            "AI": round(self.arithmetic_intensity, 3),
+            "attained_gflops": round(self.attained_gflops, 3),
+            "attainable_gflops": round(self.attainable_gflops, 3),
+            "bandwidth_gbs": round(self.bandwidth_gbs, 2),
+            "kernel_seconds": self.kernel_seconds,
+        }
+
+
+def roofline_point(
+    graph_name: str,
+    A,
+    d: int,
+    kernel_seconds: float,
+    *,
+    pattern: OpPattern | str = "sigmoid_embedding",
+    bandwidth_gbs: Optional[float] = None,
+    peak_gflops: float = float("inf"),
+) -> RooflinePoint:
+    """Build the roofline datum for one graph from a measured kernel time."""
+    A = as_csr(A)
+    ai = arithmetic_intensity(A, d, pattern=pattern)
+    flops = pattern_flops(pattern, d, A.nnz)
+    attained = flops / max(kernel_seconds, 1e-12) / 1e9
+    bw = bandwidth_gbs if bandwidth_gbs is not None else measure_stream_bandwidth()
+    return RooflinePoint(
+        graph=graph_name,
+        arithmetic_intensity=ai,
+        attained_gflops=attained,
+        attainable_gflops=attainable_gflops(ai, bw, peak_gflops),
+        bandwidth_gbs=bw,
+        kernel_seconds=kernel_seconds,
+    )

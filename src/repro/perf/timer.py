@@ -1,0 +1,109 @@
+"""Timing utilities for the benchmark harness.
+
+The paper "measures the time for 10 iterations and reports the average
+time" (Section V.A).  :func:`time_kernel` reproduces that protocol: a few
+warm-up calls followed by ``repeats`` timed calls, returning mean / min /
+std so tables can report whichever statistic they need.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+import numpy as np
+
+__all__ = ["Timing", "time_kernel", "Stopwatch", "stopwatch"]
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Aggregate of repeated timed runs of one kernel call."""
+
+    seconds: List[float]
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per call (the paper's reported statistic)."""
+        return float(np.mean(self.seconds)) if self.seconds else 0.0
+
+    @property
+    def best(self) -> float:
+        """Fastest observed call."""
+        return float(np.min(self.seconds)) if self.seconds else 0.0
+
+    @property
+    def std(self) -> float:
+        """Standard deviation across calls."""
+        return float(np.std(self.seconds)) if self.seconds else 0.0
+
+    @property
+    def total(self) -> float:
+        """Total measured seconds."""
+        return float(np.sum(self.seconds)) if self.seconds else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for table rows."""
+        return {"mean": self.mean, "best": self.best, "std": self.std, "repeats": len(self.seconds)}
+
+
+def time_kernel(
+    fn: Callable,
+    *args,
+    repeats: int = 10,
+    warmup: int = 1,
+    **kwargs,
+) -> Timing:
+    """Time ``fn(*args, **kwargs)`` following the paper's protocol
+    (``repeats=10`` averaged runs after a warm-up call)."""
+    for _ in range(max(0, warmup)):
+        fn(*args, **kwargs)
+    seconds = []
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn(*args, **kwargs)
+        seconds.append(time.perf_counter() - t0)
+    return Timing(seconds=seconds)
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps (used inside training loops to
+    separate kernel time from bookkeeping time)."""
+
+    laps: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def lap(self, name: str):
+        """Context manager accumulating elapsed seconds under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.laps[name] = self.laps.get(name, 0.0) + (time.perf_counter() - t0)
+
+    def total(self) -> float:
+        """Sum of all laps."""
+        return float(sum(self.laps.values()))
+
+    def reset(self) -> None:
+        """Clear all laps."""
+        self.laps.clear()
+
+
+@contextmanager
+def stopwatch():
+    """Minimal timing context manager: ``with stopwatch() as t: ...`` then
+    read ``t.elapsed``."""
+
+    class _Result:
+        elapsed = 0.0
+
+    result = _Result()
+    t0 = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result.elapsed = time.perf_counter() - t0

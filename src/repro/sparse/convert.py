@@ -1,0 +1,94 @@
+"""Conversions between sparse representations.
+
+The package-internal formats are :class:`~repro.sparse.coo.COOMatrix` and
+:class:`~repro.sparse.csr.CSRMatrix`.  This module provides a single
+``as_csr`` entry point accepting whatever a caller has at hand — our own
+formats, SciPy sparse matrices, NetworkX graphs, dense arrays, or edge
+lists — so the high-level API (`repro.fusedmm`, the applications, the
+experiments) can stay format-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+import numpy as np
+
+from ..errors import SparseFormatError
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = ["as_csr", "as_coo", "from_networkx"]
+
+
+def _looks_like_scipy(obj: Any) -> bool:
+    return hasattr(obj, "tocsr") and hasattr(obj, "shape") and hasattr(obj, "nnz")
+
+
+def _looks_like_networkx(obj: Any) -> bool:
+    return hasattr(obj, "number_of_nodes") and hasattr(obj, "edges")
+
+
+def from_networkx(graph, weight: str | None = None) -> CSRMatrix:
+    """Convert a NetworkX graph to CSR using node order 0..n-1.
+
+    Nodes must be integers in ``[0, n)``; relabel before calling otherwise.
+    Undirected graphs produce a symmetric matrix.
+    """
+    n = graph.number_of_nodes()
+    rows, cols, vals = [], [], []
+    for u, v, attrs in graph.edges(data=True):
+        w = float(attrs.get(weight, 1.0)) if weight else 1.0
+        rows.append(u)
+        cols.append(v)
+        vals.append(w)
+        if not graph.is_directed():
+            rows.append(v)
+            cols.append(u)
+            vals.append(w)
+    coo = COOMatrix(
+        n,
+        n,
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        np.asarray(vals, dtype=np.float32),
+    )
+    return CSRMatrix.from_coo(coo.deduplicate(op="max"))
+
+
+def as_coo(obj: Any, shape: Tuple[int, int] | None = None) -> COOMatrix:
+    """Coerce ``obj`` into a :class:`COOMatrix`."""
+    if isinstance(obj, COOMatrix):
+        return obj
+    return as_csr(obj, shape=shape).to_coo()
+
+
+def as_csr(obj: Any, shape: Tuple[int, int] | None = None) -> CSRMatrix:
+    """Coerce ``obj`` into a :class:`CSRMatrix`.
+
+    Accepted inputs
+    ---------------
+    * :class:`CSRMatrix` (returned as-is)
+    * :class:`COOMatrix`
+    * SciPy sparse matrices (anything with ``tocsr``)
+    * NetworkX graphs with integer node labels ``0..n-1``
+    * dense 2-D ``numpy.ndarray``
+    * an iterable of ``(u, v)`` edge pairs together with ``shape``
+    """
+    if isinstance(obj, CSRMatrix):
+        return obj
+    if isinstance(obj, COOMatrix):
+        return CSRMatrix.from_coo(obj)
+    if _looks_like_scipy(obj):
+        return CSRMatrix.from_scipy(obj)
+    if _looks_like_networkx(obj):
+        return from_networkx(obj)
+    if isinstance(obj, np.ndarray):
+        return CSRMatrix.from_dense(obj)
+    if isinstance(obj, (list, tuple)) or hasattr(obj, "__iter__"):
+        if shape is None:
+            raise SparseFormatError(
+                "converting an edge list to CSR requires an explicit shape=(nrows, ncols)"
+            )
+        return CSRMatrix.from_edges(obj, nrows=shape[0], ncols=shape[1])
+    raise SparseFormatError(f"cannot convert object of type {type(obj)!r} to CSR")

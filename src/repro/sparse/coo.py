@@ -1,0 +1,200 @@
+"""Coordinate-format (COO) sparse matrix.
+
+The COO format stores one ``(row, col, value)`` triple per stored entry.  It
+is the natural construction format for graphs (an edge list *is* a COO
+matrix) and the interchange format between the graph generators in
+:mod:`repro.graphs` and the compute-oriented CSR format in
+:mod:`repro.sparse.csr`.
+
+The class is deliberately small: it validates its inputs, supports
+de-duplication, transposition, and conversion to CSR, and nothing else.  All
+kernels operate on CSR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError, SparseFormatError
+
+__all__ = ["COOMatrix"]
+
+
+@dataclass
+class COOMatrix:
+    """A sparse matrix in coordinate format.
+
+    Parameters
+    ----------
+    nrows, ncols:
+        Matrix dimensions.
+    rows, cols:
+        Integer arrays of equal length giving the coordinates of the stored
+        entries.  Stored as ``int64`` (the paper assumes 8-byte indices).
+    vals:
+        Values of the stored entries.  Stored as ``float32`` by default to
+        match the paper's single-precision evaluation, but any float dtype
+        is accepted.
+    """
+
+    nrows: int
+    ncols: int
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.nrows = int(self.nrows)
+        self.ncols = int(self.ncols)
+        if self.nrows < 0 or self.ncols < 0:
+            raise ShapeError("matrix dimensions must be non-negative")
+        self.rows = np.ascontiguousarray(self.rows, dtype=np.int64)
+        self.cols = np.ascontiguousarray(self.cols, dtype=np.int64)
+        if self.vals is None:
+            self.vals = np.ones(self.rows.shape[0], dtype=np.float32)
+        else:
+            self.vals = np.ascontiguousarray(self.vals)
+            if not np.issubdtype(self.vals.dtype, np.floating):
+                self.vals = self.vals.astype(np.float32)
+        if self.rows.ndim != 1 or self.cols.ndim != 1 or self.vals.ndim != 1:
+            raise SparseFormatError("rows, cols and vals must be 1-D arrays")
+        if not (self.rows.shape[0] == self.cols.shape[0] == self.vals.shape[0]):
+            raise SparseFormatError(
+                "rows, cols and vals must have the same length, got "
+                f"{self.rows.shape[0]}, {self.cols.shape[0]}, {self.vals.shape[0]}"
+            )
+        if self.rows.size:
+            if self.rows.min() < 0 or self.rows.max() >= self.nrows:
+                raise SparseFormatError("row index out of range")
+            if self.cols.min() < 0 or self.cols.max() >= self.ncols:
+                raise SparseFormatError("column index out of range")
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(nrows, ncols)`` of the matrix."""
+        return (self.nrows, self.ncols)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (including any duplicates)."""
+        return int(self.rows.shape[0])
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype of the stored values."""
+        return self.vals.dtype
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"COOMatrix(shape={self.shape}, nnz={self.nnz}, dtype={self.vals.dtype})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int]],
+        nrows: int,
+        ncols: int | None = None,
+        values: Iterable[float] | None = None,
+    ) -> "COOMatrix":
+        """Build a COO matrix from an iterable of ``(u, v)`` edges."""
+        edge_arr = np.asarray(list(edges), dtype=np.int64)
+        if edge_arr.size == 0:
+            edge_arr = edge_arr.reshape(0, 2)
+        if edge_arr.ndim != 2 or edge_arr.shape[1] != 2:
+            raise SparseFormatError("edges must be an iterable of (u, v) pairs")
+        vals = None if values is None else np.asarray(list(values), dtype=np.float32)
+        return cls(
+            nrows=nrows,
+            ncols=nrows if ncols is None else ncols,
+            rows=edge_arr[:, 0],
+            cols=edge_arr[:, 1],
+            vals=vals,
+        )
+
+    @classmethod
+    def empty(cls, nrows: int, ncols: int, dtype=np.float32) -> "COOMatrix":
+        """An all-zero matrix with no stored entries."""
+        return cls(
+            nrows=nrows,
+            ncols=ncols,
+            rows=np.empty(0, dtype=np.int64),
+            cols=np.empty(0, dtype=np.int64),
+            vals=np.empty(0, dtype=dtype),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def deduplicate(self, op: str = "sum") -> "COOMatrix":
+        """Merge duplicate coordinates.
+
+        Parameters
+        ----------
+        op:
+            ``"sum"`` adds duplicate values (matrix semantics), ``"last"``
+            keeps the last occurrence, ``"max"`` keeps the maximum.
+        """
+        if self.nnz == 0:
+            return COOMatrix.empty(self.nrows, self.ncols, self.vals.dtype)
+        keys = self.rows * self.ncols + self.cols
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        unique_keys, start = np.unique(keys_sorted, return_index=True)
+        rows = (unique_keys // self.ncols).astype(np.int64)
+        cols = (unique_keys % self.ncols).astype(np.int64)
+        vals_sorted = self.vals[order]
+        if op == "sum":
+            vals = np.add.reduceat(vals_sorted, start)
+        elif op == "max":
+            vals = np.maximum.reduceat(vals_sorted, start)
+        elif op == "last":
+            ends = np.append(start[1:], keys_sorted.shape[0]) - 1
+            vals = vals_sorted[ends]
+        else:
+            raise ValueError(f"unknown deduplication op {op!r}")
+        return COOMatrix(self.nrows, self.ncols, rows, cols, vals.astype(self.vals.dtype))
+
+    def transpose(self) -> "COOMatrix":
+        """Return the transposed matrix (rows and columns swapped)."""
+        return COOMatrix(self.ncols, self.nrows, self.cols.copy(), self.rows.copy(), self.vals.copy())
+
+    def symmetrize(self) -> "COOMatrix":
+        """Return ``A + Aᵀ`` structurally: each edge appears in both
+        directions, duplicate coordinates merged with ``max`` so values are
+        not doubled for already-symmetric inputs."""
+        rows = np.concatenate([self.rows, self.cols])
+        cols = np.concatenate([self.cols, self.rows])
+        vals = np.concatenate([self.vals, self.vals])
+        out = COOMatrix(max(self.nrows, self.ncols), max(self.nrows, self.ncols), rows, cols, vals)
+        return out.deduplicate(op="max")
+
+    def drop_self_loops(self) -> "COOMatrix":
+        """Remove entries on the main diagonal."""
+        keep = self.rows != self.cols
+        return COOMatrix(self.nrows, self.ncols, self.rows[keep], self.cols[keep], self.vals[keep])
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the matrix as a dense ndarray (testing only)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, (self.rows, self.cols), self.vals.astype(np.float64))
+        return dense
+
+    def to_csr(self):
+        """Convert to :class:`repro.sparse.csr.CSRMatrix` (duplicates summed)."""
+        from .csr import CSRMatrix
+
+        return CSRMatrix.from_coo(self)
+
+    def row_degrees(self) -> np.ndarray:
+        """Number of stored entries per row."""
+        return np.bincount(self.rows, minlength=self.nrows).astype(np.int64)

@@ -1,0 +1,128 @@
+"""Matrix Market I/O for sparse matrices.
+
+The paper's datasets come from networkrepository.com and the SuiteSparse
+collection, both of which distribute graphs as Matrix Market (``.mtx``)
+coordinate files.  This module implements a self-contained reader/writer for
+the coordinate subset of the format (``matrix coordinate
+real|integer|pattern general|symmetric``), so users who do have the original
+files can load them directly without SciPy.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from ..errors import SparseFormatError
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+PathLike = Union[str, Path]
+
+
+def _open_text(path: PathLike, mode: str) -> TextIO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")  # type: ignore[return-value]
+    return open(path, mode)
+
+
+def read_matrix_market(path: PathLike, *, as_format: str = "csr"):
+    """Read a Matrix Market coordinate file.
+
+    Parameters
+    ----------
+    path:
+        ``.mtx`` or ``.mtx.gz`` file path.
+    as_format:
+        ``"csr"`` (default) or ``"coo"``.
+
+    Notes
+    -----
+    Only the ``coordinate`` storage scheme is supported (the scheme used by
+    graph collections); ``array`` (dense) files raise
+    :class:`~repro.errors.SparseFormatError`.  ``symmetric`` and
+    ``skew-symmetric`` matrices are expanded to full storage.
+    """
+    with _open_text(path, "r") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise SparseFormatError(f"{path}: missing MatrixMarket header")
+        parts = header.strip().split()
+        if len(parts) < 5:
+            raise SparseFormatError(f"{path}: malformed header {header!r}")
+        _, obj, fmt, field, symmetry = parts[:5]
+        if obj.lower() != "matrix" or fmt.lower() != "coordinate":
+            raise SparseFormatError(
+                f"{path}: only 'matrix coordinate' files are supported, got {obj} {fmt}"
+            )
+        field = field.lower()
+        symmetry = symmetry.lower()
+        if field not in {"real", "integer", "pattern"}:
+            raise SparseFormatError(f"{path}: unsupported field type {field!r}")
+
+        # Skip comments.
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        dims = line.split()
+        if len(dims) != 3:
+            raise SparseFormatError(f"{path}: malformed size line {line!r}")
+        nrows, ncols, nnz = (int(x) for x in dims)
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.ones(nnz, dtype=np.float32)
+        k = 0
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            toks = line.split()
+            rows[k] = int(toks[0]) - 1
+            cols[k] = int(toks[1]) - 1
+            if field != "pattern" and len(toks) > 2:
+                vals[k] = float(toks[2])
+            k += 1
+        if k != nnz:
+            raise SparseFormatError(f"{path}: expected {nnz} entries, found {k}")
+
+    if symmetry in {"symmetric", "skew-symmetric", "hermitian"}:
+        off_diag = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        mirror_rows = cols[off_diag]
+        mirror_cols = rows[off_diag]
+        mirror_vals = sign * vals[off_diag]
+        rows = np.concatenate([rows, mirror_rows])
+        cols = np.concatenate([cols, mirror_cols])
+        vals = np.concatenate([vals, mirror_vals])
+
+    coo = COOMatrix(nrows, ncols, rows, cols, vals)
+    if as_format == "coo":
+        return coo
+    if as_format == "csr":
+        return CSRMatrix.from_coo(coo)
+    raise ValueError(f"unknown as_format {as_format!r}")
+
+
+def write_matrix_market(path: PathLike, matrix, *, comment: str | None = None) -> None:
+    """Write a CSR or COO matrix as a Matrix Market coordinate file."""
+    if isinstance(matrix, CSRMatrix):
+        coo = matrix.to_coo()
+    elif isinstance(matrix, COOMatrix):
+        coo = matrix
+    else:
+        raise TypeError("write_matrix_market expects a CSRMatrix or COOMatrix")
+    with _open_text(path, "w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        if comment:
+            for ln in comment.splitlines():
+                fh.write(f"% {ln}\n")
+        fh.write(f"{coo.nrows} {coo.ncols} {coo.nnz}\n")
+        for r, c, v in zip(coo.rows, coo.cols, coo.vals):
+            fh.write(f"{int(r) + 1} {int(c) + 1} {float(v):.7g}\n")

@@ -1,0 +1,120 @@
+"""Random sparse matrix construction.
+
+Used by the test suite and by the benchmark harness to create controlled
+sparsity patterns (uniform random, banded, block-diagonal, bipartite slices)
+beyond the graph-shaped generators in :mod:`repro.graphs.generators`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = [
+    "random_csr",
+    "random_bipartite",
+    "banded_csr",
+    "block_diagonal_csr",
+]
+
+
+def random_csr(
+    nrows: int,
+    ncols: int,
+    density: float = 0.01,
+    *,
+    seed: int | None = None,
+    dtype=np.float32,
+    value_range: tuple[float, float] = (0.1, 1.0),
+) -> CSRMatrix:
+    """A uniformly random sparse matrix with roughly ``density * nrows *
+    ncols`` nonzeros (duplicates removed, so the realised density can be
+    slightly smaller)."""
+    if not 0.0 <= density <= 1.0:
+        raise ShapeError(f"density must be in [0, 1], got {density}")
+    rng = np.random.default_rng(seed)
+    target = int(round(density * nrows * ncols))
+    if target == 0 or nrows == 0 or ncols == 0:
+        return CSRMatrix.empty(nrows, ncols, dtype)
+    rows = rng.integers(0, nrows, size=target, dtype=np.int64)
+    cols = rng.integers(0, ncols, size=target, dtype=np.int64)
+    lo, hi = value_range
+    vals = rng.uniform(lo, hi, size=target).astype(dtype)
+    coo = COOMatrix(nrows, ncols, rows, cols, vals).deduplicate(op="last")
+    return CSRMatrix.from_coo(coo)
+
+
+def random_bipartite(
+    nrows: int,
+    ncols: int,
+    avg_degree: float,
+    *,
+    seed: int | None = None,
+    dtype=np.float32,
+) -> CSRMatrix:
+    """A random rectangular (bipartite / minibatch-slice shaped) matrix in
+    which every row receives a Poisson(``avg_degree``) number of neighbours.
+
+    This is the shape FusedMM sees during minibatched GNN training (Fig. 2):
+    an ``m × n`` slice of the adjacency matrix with ``m ≪ n``.
+    """
+    if avg_degree < 0:
+        raise ShapeError("avg_degree must be non-negative")
+    rng = np.random.default_rng(seed)
+    degrees = rng.poisson(avg_degree, size=nrows)
+    degrees = np.minimum(degrees, ncols)
+    rows = np.repeat(np.arange(nrows, dtype=np.int64), degrees)
+    cols = np.concatenate(
+        [rng.choice(ncols, size=int(d), replace=False) for d in degrees]
+        or [np.empty(0, dtype=np.int64)]
+    ).astype(np.int64)
+    vals = rng.uniform(0.1, 1.0, size=rows.shape[0]).astype(dtype)
+    return CSRMatrix.from_coo(COOMatrix(nrows, ncols, rows, cols, vals))
+
+
+def banded_csr(n: int, bandwidth: int = 1, *, dtype=np.float32) -> CSRMatrix:
+    """A symmetric banded matrix: entry (i, j) is stored when
+    ``0 < |i - j| <= bandwidth``.  Every interior row has exactly
+    ``2 * bandwidth`` neighbours, which makes load-balance properties easy
+    to reason about in tests."""
+    if bandwidth < 0:
+        raise ShapeError("bandwidth must be non-negative")
+    rows, cols = [], []
+    for offset in range(1, bandwidth + 1):
+        idx = np.arange(n - offset, dtype=np.int64)
+        rows.extend([idx, idx + offset])
+        cols.extend([idx + offset, idx])
+    if rows:
+        rows_arr = np.concatenate(rows)
+        cols_arr = np.concatenate(cols)
+    else:
+        rows_arr = np.empty(0, dtype=np.int64)
+        cols_arr = np.empty(0, dtype=np.int64)
+    vals = np.ones(rows_arr.shape[0], dtype=dtype)
+    return CSRMatrix.from_coo(COOMatrix(n, n, rows_arr, cols_arr, vals))
+
+
+def block_diagonal_csr(block_sizes: list[int], *, dtype=np.float32) -> CSRMatrix:
+    """A block-diagonal matrix of dense all-ones blocks.
+
+    The wildly different block sizes produce highly skewed row-degree
+    distributions, which is the stress case for the nnz-balanced 1-D
+    partitioner."""
+    n = int(sum(block_sizes))
+    rows, cols = [], []
+    start = 0
+    for size in block_sizes:
+        if size < 0:
+            raise ShapeError("block sizes must be non-negative")
+        local = np.arange(start, start + size, dtype=np.int64)
+        rr, cc = np.meshgrid(local, local, indexing="ij")
+        rows.append(rr.ravel())
+        cols.append(cc.ravel())
+        start += size
+    rows_arr = np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+    cols_arr = np.concatenate(cols) if cols else np.empty(0, dtype=np.int64)
+    vals = np.ones(rows_arr.shape[0], dtype=dtype)
+    return CSRMatrix.from_coo(COOMatrix(n, n, rows_arr, cols_arr, vals))

@@ -1,0 +1,6 @@
+"""Package version information."""
+
+__version__ = "1.0.0"
+
+#: Short identifier of the paper reproduced by this package.
+PAPER = "FusedMM: A Unified SDDMM-SpMM Kernel for Graph Embedding and GNNs (IPDPS 2021)"

@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite.
+
+All graphs used by the unit tests are tiny (tens to a few thousand
+vertices) so the full suite runs in well under a minute; the larger
+synthetic dataset twins are only exercised by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.graphs import random_features  # noqa: E402
+from repro.sparse import CSRMatrix, COOMatrix, random_csr  # noqa: E402
+
+
+@pytest.fixture
+def rng():
+    """Deterministic NumPy generator for test-local randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_csr() -> CSRMatrix:
+    """A hand-built 4×5 CSR matrix with a known dense form."""
+    dense = np.array(
+        [
+            [0.0, 1.0, 0.0, 2.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 0.0],
+            [3.0, 0.0, 0.5, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 4.0],
+        ],
+        dtype=np.float32,
+    )
+    return CSRMatrix.from_dense(dense)
+
+
+@pytest.fixture
+def small_square_csr() -> CSRMatrix:
+    """A 60×60 random sparse matrix (square, moderately dense)."""
+    return random_csr(60, 60, density=0.08, seed=7)
+
+
+@pytest.fixture
+def small_rect_csr() -> CSRMatrix:
+    """A 40×90 random rectangular sparse matrix (minibatch-slice shaped)."""
+    return random_csr(40, 90, density=0.06, seed=11)
+
+
+@pytest.fixture
+def medium_graph_csr() -> CSRMatrix:
+    """A ~1000-vertex power-law-ish graph for integration-level tests."""
+    from repro.graphs import rmat
+
+    return rmat(1000, 4000, seed=3)
+
+
+@pytest.fixture
+def features_16(small_square_csr) -> np.ndarray:
+    """16-dimensional features matching the small square matrix."""
+    return random_features(small_square_csr.nrows, 16, seed=0)
+
+
+def make_xy(A: CSRMatrix, d: int, seed: int = 0):
+    """(X, Y) operand pair sized for A (helper importable from tests)."""
+    X = random_features(A.nrows, d, seed=seed)
+    Y = X if A.nrows == A.ncols else random_features(A.ncols, d, seed=seed + 1)
+    return X, Y

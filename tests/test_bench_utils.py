@@ -1,0 +1,147 @@
+"""Unit tests for the benchmark-harness utilities (tables, reports, sweeps,
+kernel comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    comparison_block,
+    compare_kernels,
+    degree_sweep_graphs,
+    dimension_sweep,
+    ExperimentReport,
+    format_markdown_table,
+    format_table,
+    format_value,
+    kernel_callables,
+    load_results,
+    make_operands,
+    save_results,
+)
+from repro.sparse import random_csr
+
+
+# ------------------------------------------------------------------ #
+# Table formatting
+# ------------------------------------------------------------------ #
+def test_format_value_floats_and_misc():
+    assert format_value(0.0) == "0"
+    assert format_value(1.23456789) == "1.235"
+    assert format_value(1234567.0).endswith("e+06")
+    assert format_value(1e-7).endswith("e-07")
+    assert format_value("abc") == "abc"
+    assert format_value(None) == "None"
+    assert format_value(True) == "True"
+
+
+def test_format_table_alignment_and_title():
+    rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy", "c": 3.0}]
+    out = format_table(rows, title="My Table")
+    lines = out.splitlines()
+    assert lines[0] == "My Table"
+    assert "a" in lines[1] and "c" in lines[1]
+    assert len(lines) == 2 + 1 + 2  # title + header + separator + 2 rows
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([], title="empty")
+
+
+def test_format_table_explicit_columns():
+    rows = [{"a": 1, "b": 2}]
+    out = format_table(rows, columns=["b"])
+    assert "a" not in out.splitlines()[0]
+
+
+def test_format_markdown_table():
+    rows = [{"x": 1, "y": 2.5}]
+    md = format_markdown_table(rows)
+    assert md.startswith("| x | y |")
+    assert "| 1 | 2.5 |" in md
+    assert format_markdown_table([]) == "(no rows)"
+
+
+# ------------------------------------------------------------------ #
+# Reports
+# ------------------------------------------------------------------ #
+def test_save_and_load_results(tmp_path):
+    data = [{"graph": "g", "value": 1.5}]
+    path = save_results(data, tmp_path / "sub" / "res.json")
+    assert path.exists()
+    assert load_results(path) == data
+
+
+def test_comparison_block_contains_both_tables():
+    block = comparison_block(
+        "Table X",
+        [{"a": 1}],
+        [{"a": 2}],
+        note="a note",
+    )
+    assert "Paper:" in block and "Measured:" in block and "a note" in block
+
+
+def test_experiment_report_render_and_write(tmp_path):
+    report = ExperimentReport("Repro Report")
+    report.add_section("Intro", "hello")
+    report.add_comparison("Table X", [{"a": 1}], [{"a": 2}], note="shape holds")
+    text = report.render()
+    assert text.startswith("# Repro Report")
+    assert "## Intro" in text and "## Table X" in text
+    path = report.write(tmp_path / "report.md")
+    assert path.read_text() == text
+
+
+# ------------------------------------------------------------------ #
+# Sweeps
+# ------------------------------------------------------------------ #
+def test_degree_sweep_graphs_monotone_degrees():
+    items = list(degree_sweep_graphs(500, [2, 8], seed=0))
+    assert len(items) == 2
+    assert items[1].realised_avg_degree > items[0].realised_avg_degree
+    assert items[0].graph.nrows == 500
+
+
+def test_dimension_sweep_validation():
+    assert dimension_sweep([16, 32]) == [16, 32]
+    with pytest.raises(ValueError):
+        dimension_sweep([0, 8])
+
+
+# ------------------------------------------------------------------ #
+# Kernel comparison harness
+# ------------------------------------------------------------------ #
+@pytest.fixture(scope="module")
+def A():
+    return random_csr(150, 150, density=0.05, seed=33)
+
+
+def test_make_operands_shapes(A):
+    X, Y = make_operands(A, 8, seed=0)
+    assert X.shape == (A.nrows, 8)
+    assert Y is X  # square matrices share features by default
+    rect = random_csr(20, 50, density=0.1, seed=1)
+    X2, Y2 = make_operands(rect, 8)
+    assert X2.shape == (20, 8) and Y2.shape == (50, 8)
+
+
+def test_kernel_callables_agree(A):
+    X, Y = make_operands(A, 8, seed=0)
+    fns = kernel_callables(A, X, Y, pattern="sigmoid_embedding")
+    assert set(fns) == {"dgl", "fusedmm", "fusedmmopt"}
+    outs = {name: fn() for name, fn in fns.items()}
+    assert np.allclose(outs["dgl"], outs["fusedmmopt"], atol=1e-3)
+    assert np.allclose(outs["fusedmm"], outs["fusedmmopt"], atol=1e-3)
+
+
+def test_compare_kernels_row_contents(A):
+    row = compare_kernels("toy", A, 16, pattern="sigmoid_embedding", repeats=1)
+    for key in ["graph", "app", "d", "dgl_s", "fusedmmopt_s", "speedup_opt_vs_dgl", "fusedmm_s"]:
+        assert key in row
+    assert row["graph"] == "toy" and row["d"] == 16
+    assert row["dgl_s"] > 0 and row["fusedmmopt_s"] > 0
+
+
+def test_compare_kernels_without_generic(A):
+    row = compare_kernels("toy", A, 16, pattern="gcn", repeats=1, include_generic=False)
+    assert "fusedmm_s" not in row

@@ -1,0 +1,123 @@
+"""Unit tests for the extension kernels (attention, edge softmax,
+GraphSAGE-mean aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.extensions import (
+    attention_aggregate,
+    attention_scores,
+    edge_softmax,
+    sage_mean_aggregate,
+)
+from repro.errors import ShapeError
+from repro.sparse import CSRMatrix, random_csr
+from conftest import make_xy
+
+
+@pytest.fixture(scope="module")
+def problem():
+    A = random_csr(60, 60, density=0.08, seed=42)
+    X, Y = make_xy(A, 12, seed=3)
+    return A, X, Y
+
+
+def test_attention_scores_shape_and_leaky_relu(problem):
+    A, X, Y = problem
+    scores = attention_scores(A, X, Y)
+    assert scores.shape == (A.nnz,)
+    # Leaky ReLU: negative scores are shrunk, not clipped.
+    raw_rows = np.repeat(np.arange(A.nrows), A.row_degrees())
+    raw = np.einsum("ij,ij->i", X[raw_rows], Y[A.indices]) / np.sqrt(X.shape[1])
+    neg = raw < 0
+    assert np.allclose(scores[neg], 0.2 * raw[neg], atol=1e-5)
+    assert np.allclose(scores[~neg], raw[~neg], atol=1e-5)
+
+
+def test_attention_scores_validation(problem):
+    A, X, Y = problem
+    with pytest.raises(ShapeError):
+        attention_scores(A, X[:-1], Y)
+    with pytest.raises(ShapeError):
+        attention_scores(A, X, Y[:, :-1])
+
+
+def test_edge_softmax_rows_sum_to_one(problem):
+    A, X, Y = problem
+    alpha = edge_softmax(A, attention_scores(A, X, Y))
+    rows = np.repeat(np.arange(A.nrows), A.row_degrees())
+    sums = np.zeros(A.nrows)
+    np.add.at(sums, rows, alpha)
+    non_empty = A.row_degrees() > 0
+    assert np.allclose(sums[non_empty], 1.0, atol=1e-5)
+    assert np.all(alpha >= 0)
+
+
+def test_edge_softmax_is_shift_invariant(problem):
+    A, _, _ = problem
+    rng = np.random.default_rng(0)
+    scores = rng.standard_normal(A.nnz).astype(np.float32)
+    assert np.allclose(edge_softmax(A, scores), edge_softmax(A, scores + 100.0), atol=1e-5)
+
+
+def test_edge_softmax_validation(problem):
+    A, _, _ = problem
+    with pytest.raises(ShapeError):
+        edge_softmax(A, np.ones(A.nnz + 1))
+
+
+def test_edge_softmax_empty_matrix():
+    A = CSRMatrix.empty(4, 4)
+    assert edge_softmax(A, np.empty(0)).shape == (0,)
+
+
+def test_attention_aggregate_matches_dense_reference(problem):
+    A, X, Y = problem
+    Z = attention_aggregate(A, X, Y)
+    # Dense reference.
+    mask = A.to_dense() != 0
+    raw = (X @ Y.T) / np.sqrt(X.shape[1])
+    raw = np.where(raw >= 0, raw, 0.2 * raw)
+    raw = np.where(mask, raw, -np.inf)
+    with np.errstate(over="ignore", invalid="ignore"):
+        e = np.exp(raw - raw.max(axis=1, keepdims=True))
+        e = np.where(mask, e, 0.0)
+        denom = e.sum(axis=1, keepdims=True)
+        alpha = np.divide(e, denom, out=np.zeros_like(e), where=denom > 0)
+    expected = alpha @ Y
+    non_empty = A.row_degrees() > 0
+    assert np.allclose(Z[non_empty], expected[non_empty], atol=1e-3)
+    assert np.allclose(Z[~non_empty], 0.0)
+
+
+def test_attention_aggregate_rows_are_convex_combinations(problem):
+    A, X, Y = problem
+    Z = attention_aggregate(A, X, Y)
+    # Every output row lies within the min/max envelope of Y (convexity).
+    non_empty = A.row_degrees() > 0
+    assert np.all(Z[non_empty] <= Y.max(axis=0) + 1e-4)
+    assert np.all(Z[non_empty] >= Y.min(axis=0) - 1e-4)
+
+
+def test_sage_mean_aggregate_shape_and_values(problem):
+    A, X, Y = problem
+    out = sage_mean_aggregate(A, X, Y)
+    assert out.shape == (A.nrows, 2 * X.shape[1])
+    assert np.allclose(out[:, : X.shape[1]], X)
+    # Check the neighbour mean of the densest row explicitly.
+    u = int(np.argmax(A.row_degrees()))
+    cols, _ = A.row(u)
+    assert np.allclose(out[u, X.shape[1] :], Y[cols].mean(axis=0), atol=1e-4)
+
+
+def test_sage_mean_aggregate_isolated_vertices_zero_mean():
+    A = CSRMatrix.empty(5, 5)
+    X = np.ones((5, 3), dtype=np.float32)
+    out = sage_mean_aggregate(A, X)
+    assert np.allclose(out[:, 3:], 0.0)
+
+
+def test_sage_mean_aggregate_validation(problem):
+    A, X, _ = problem
+    with pytest.raises(ShapeError):
+        sage_mean_aggregate(A, X[:-1])

@@ -1,0 +1,99 @@
+"""Unit tests for the Algorithm 1 reference kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.generic import fusedmm_generic, update_u
+from repro.core.patterns import get_pattern
+from repro.errors import ShapeError
+from repro.sparse import CSRMatrix
+
+
+def _sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def test_sigmoid_embedding_against_hand_computation():
+    # 2-vertex graph: 0 -> 1 with weight 1.
+    A = CSRMatrix.from_dense(np.array([[0.0, 1.0], [0.0, 0.0]], dtype=np.float32))
+    X = np.array([[1.0, 2.0], [0.5, -1.0]], dtype=np.float32)
+    Z = fusedmm_generic(A, X, pattern="sigmoid_embedding")
+    score = 1.0 * 0.5 + 2.0 * -1.0
+    expected_row0 = _sigmoid(score) * X[1]
+    assert np.allclose(Z[0], expected_row0, atol=1e-5)
+    assert np.allclose(Z[1], 0.0)
+
+
+def test_gcn_against_hand_computation():
+    A = CSRMatrix.from_dense(np.array([[0.0, 2.0, 3.0], [0.0, 0.0, 0.0], [1.0, 0.0, 0.0]], dtype=np.float32))
+    X = np.eye(3, dtype=np.float32)
+    Z = fusedmm_generic(A, X, pattern="gcn")
+    assert np.allclose(Z, A.to_dense() @ X, atol=1e-5)
+
+
+def test_fr_layout_against_hand_computation():
+    A = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 0.0]], dtype=np.float32))
+    X = np.array([[0.0, 0.0], [3.0, 4.0]], dtype=np.float32)
+    Z = fusedmm_generic(A, X, pattern="fr_layout")
+    diff = X[0] - X[1]
+    dist = 5.0
+    expected = (1.0 / (1.0 + dist**2)) * diff
+    assert np.allclose(Z[0], expected, atol=1e-5)
+    assert np.allclose(Z[1], -expected, atol=1e-5)
+
+
+def test_y_defaults_to_x_only_for_square():
+    A = CSRMatrix.from_dense(np.array([[0.0, 1.0, 0.0]], dtype=np.float32))
+    X = np.ones((1, 4), dtype=np.float32)
+    with pytest.raises(ShapeError):
+        fusedmm_generic(A, X, pattern="gcn")
+
+
+def test_shape_mismatch_raises():
+    A = CSRMatrix.identity(3)
+    with pytest.raises(ShapeError):
+        fusedmm_generic(A, np.ones((2, 4), dtype=np.float32), pattern="gcn")
+    with pytest.raises(ShapeError):
+        fusedmm_generic(
+            A,
+            np.ones((3, 4), dtype=np.float32),
+            np.ones((3, 5), dtype=np.float32),
+            pattern="gcn",
+        )
+
+
+def test_output_dtype_follows_input():
+    A = CSRMatrix.identity(3)
+    X32 = np.ones((3, 2), dtype=np.float32)
+    X64 = np.ones((3, 2), dtype=np.float64)
+    assert fusedmm_generic(A, X32, pattern="gcn").dtype == np.float32
+    assert fusedmm_generic(A, X64, pattern="gcn").dtype == np.float64
+
+
+def test_integer_features_accepted():
+    A = CSRMatrix.identity(2)
+    X = np.array([[1, 2], [3, 4]])
+    Z = fusedmm_generic(A, X, pattern="gcn")
+    assert np.allclose(Z, X)
+
+
+def test_empty_matrix():
+    A = CSRMatrix.empty(3, 3)
+    X = np.ones((3, 2), dtype=np.float32)
+    assert np.allclose(fusedmm_generic(A, X, pattern="sigmoid_embedding"), 0.0)
+
+
+def test_update_u_direct_call():
+    pattern = get_pattern("gcn").resolved()
+    Y = np.array([[1.0, 1.0], [2.0, 2.0]], dtype=np.float32)
+    out = np.zeros(2)
+    update_u(pattern, np.zeros(2, dtype=np.float32), np.array([0, 1]), np.array([1.0, 3.0], dtype=np.float32), Y, out)
+    assert np.allclose(out, [7.0, 7.0])
+
+
+def test_explicit_op_overrides():
+    A = CSRMatrix.from_dense(np.array([[0.0, 1.0], [0.0, 0.0]], dtype=np.float32))
+    X = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32)
+    # Plain neighbour sum: SEL2ND / ASUM.
+    Z = fusedmm_generic(A, X, pattern=None, vop="SEL2ND", mop="NOOP", aop="ASUM")
+    assert np.allclose(Z[0], X[1])

@@ -1,0 +1,280 @@
+"""Unit tests for the graph substrate: container, generators, datasets,
+features."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, ShapeError
+from repro.graphs import (
+    Graph,
+    barabasi_albert,
+    clique_chain,
+    dataset_spec,
+    degree_features,
+    erdos_renyi,
+    list_datasets,
+    load_dataset,
+    one_hot_labels,
+    paper_table5,
+    power_law_configuration,
+    random_features,
+    regular_grid,
+    rmat,
+    star,
+    uniform_features,
+    xavier_init,
+)
+from repro.graphs.generators import stochastic_block_model
+from repro.sparse import CSRMatrix
+
+
+# ------------------------------------------------------------------ #
+# Graph container
+# ------------------------------------------------------------------ #
+def test_graph_basic_properties(small_square_csr):
+    g = Graph(small_square_csr, name="test")
+    assert g.num_vertices == small_square_csr.nrows
+    assert g.num_edges == small_square_csr.nnz
+    assert g.num_classes == 0
+    stats = g.stats()
+    assert stats.num_vertices == g.num_vertices
+    assert stats.as_row()["graph"] == "test"
+
+
+def test_graph_feature_shape_check(small_square_csr):
+    with pytest.raises(ShapeError):
+        Graph(small_square_csr, features=np.ones((3, 4), dtype=np.float32))
+
+
+def test_graph_label_shape_check(small_square_csr):
+    with pytest.raises(ShapeError):
+        Graph(small_square_csr, labels=np.zeros(3, dtype=np.int64))
+
+
+def test_graph_with_features(small_square_csr):
+    feats = random_features(small_square_csr.nrows, 8, seed=0)
+    g = Graph(small_square_csr).with_features(feats)
+    assert g.features.shape == (small_square_csr.nrows, 8)
+
+
+def test_graph_subgraph_is_row_slice(small_square_csr):
+    feats = random_features(small_square_csr.nrows, 4, seed=0)
+    labels = np.arange(small_square_csr.nrows) % 3
+    g = Graph(small_square_csr, features=feats, labels=labels)
+    rows = np.array([5, 1, 9])
+    sub = g.subgraph(rows)
+    assert sub.adjacency.shape == (3, small_square_csr.ncols)
+    assert np.allclose(sub.features, feats[rows])
+    assert np.array_equal(sub.labels, labels[rows])
+
+
+def test_graph_num_classes(small_square_csr):
+    labels = np.zeros(small_square_csr.nrows, dtype=np.int64)
+    labels[0] = 4
+    g = Graph(small_square_csr, labels=labels)
+    assert g.num_classes == 5
+
+
+# ------------------------------------------------------------------ #
+# Generators
+# ------------------------------------------------------------------ #
+def _assert_valid_symmetric(A: CSRMatrix):
+    dense = A.to_dense()
+    assert np.allclose(dense, dense.T)
+    assert np.all(np.diag(dense) == 0)
+
+
+def test_rmat_basic_properties():
+    A = rmat(128, 512, seed=0)
+    assert A.shape == (128, 128)
+    assert A.nnz > 0
+    _assert_valid_symmetric(A)
+
+
+def test_rmat_determinism():
+    assert rmat(64, 256, seed=5) == rmat(64, 256, seed=5)
+    assert rmat(64, 256, seed=5) != rmat(64, 256, seed=6)
+
+
+def test_rmat_skewed_degrees():
+    A = rmat(256, 2048, seed=1)
+    degrees = A.row_degrees()
+    # RMAT should produce a skewed distribution: max well above the mean.
+    assert degrees.max() > 3 * max(degrees.mean(), 1)
+
+
+def test_rmat_invalid_args():
+    with pytest.raises(ShapeError):
+        rmat(0, 10)
+    with pytest.raises(ShapeError):
+        rmat(10, -1)
+    with pytest.raises(ValueError):
+        rmat(10, 10, a=0.9, b=0.3, c=0.3)
+
+
+def test_erdos_renyi_average_degree():
+    A = erdos_renyi(500, avg_degree=8, seed=2)
+    assert 4 < A.avg_degree() < 10
+    _assert_valid_symmetric(A)
+
+
+def test_barabasi_albert_connected_tail():
+    A = barabasi_albert(200, attach=2, seed=3)
+    _assert_valid_symmetric(A)
+    assert A.row_degrees().max() > 5
+
+
+def test_power_law_configuration_targets():
+    A = power_law_configuration(400, avg_degree=6, max_degree=50, seed=4)
+    _assert_valid_symmetric(A)
+    assert 2 < A.avg_degree() < 12
+    assert A.max_degree() <= 2 * 50  # symmetrisation can at most double the cap
+
+
+def test_stochastic_block_model_homophily():
+    A, labels = stochastic_block_model(300, num_blocks=3, avg_degree=8, intra_fraction=0.95, seed=5)
+    _assert_valid_symmetric(A)
+    assert labels.shape == (300,)
+    rows = np.repeat(np.arange(A.nrows), A.row_degrees())
+    same = labels[rows] == labels[A.indices]
+    # Most edges stay within a community.
+    assert same.mean() > 0.7
+
+
+def test_regular_grid_degrees():
+    A = regular_grid(5)
+    degrees = A.row_degrees()
+    assert degrees.min() == 2  # corners
+    assert degrees.max() == 4  # interior
+
+
+def test_star_graph():
+    A = star(10)
+    degrees = A.row_degrees()
+    assert degrees[0] == 9
+    assert np.all(degrees[1:] == 1)
+
+
+def test_clique_chain():
+    A = clique_chain(3, 4)
+    assert A.nrows == 12
+    assert A.row_degrees().max() >= 3
+
+
+def test_generator_input_validation():
+    with pytest.raises(ShapeError):
+        erdos_renyi(0, 2)
+    with pytest.raises(ShapeError):
+        regular_grid(0)
+    with pytest.raises(ShapeError):
+        clique_chain(0, 3)
+    with pytest.raises(ShapeError):
+        stochastic_block_model(0, 2, 3)
+
+
+# ------------------------------------------------------------------ #
+# Dataset registry
+# ------------------------------------------------------------------ #
+def test_registry_lists_all_paper_graphs():
+    names = list_datasets()
+    for expected in ["cora", "harvard", "pubmed", "flickr", "ogbprot", "amazon", "youtube", "orkut"]:
+        assert expected in names
+    assert len(paper_table5()) == len(names)
+
+
+def test_dataset_spec_lookup_case_insensitive():
+    assert dataset_spec("Ogbprot.").name == "ogbprot"
+    with pytest.raises(DatasetError):
+        dataset_spec("imagenet")
+
+
+def test_load_dataset_determinism():
+    a = load_dataset("cora")
+    b = load_dataset("cora")
+    assert a.adjacency == b.adjacency
+    assert np.array_equal(a.labels, b.labels)
+
+
+def test_load_dataset_scale():
+    full = load_dataset("youtube", scale=0.25)
+    assert full.num_vertices == pytest.approx(40000 * 0.25, rel=0.1)
+
+
+def test_load_dataset_labels_for_citation_graphs():
+    cora = load_dataset("cora")
+    assert cora.num_classes == 7
+    assert cora.labels.shape == (cora.num_vertices,)
+    pubmed = load_dataset("pubmed", scale=0.3)
+    assert pubmed.num_classes == 3
+
+
+def test_load_dataset_features_on_request():
+    g = load_dataset("cora", feature_dim=24)
+    assert g.features.shape == (g.num_vertices, 24)
+
+
+def test_load_dataset_meta_records_paper_stats():
+    g = load_dataset("orkut", scale=0.5)
+    assert g.meta["paper_vertices"] == 3072441
+    assert g.meta["synthetic"] is True
+    assert g.meta["scale_factor"] > 1.0
+
+
+def test_load_dataset_avg_degree_tracks_paper():
+    # Average degree of the synthetic twin should be within 2x of the paper's
+    # value for the moderate-degree graphs (heavier ones are capped).
+    for name in ["cora", "pubmed", "amazon", "youtube"]:
+        g = load_dataset(name, scale=0.5 if name != "cora" else 1.0)
+        paper = g.meta["paper_avg_degree"]
+        assert 0.4 * paper < g.adjacency.avg_degree() < 2.5 * paper, name
+
+
+# ------------------------------------------------------------------ #
+# Feature initialisers
+# ------------------------------------------------------------------ #
+def test_random_features_scale_and_determinism():
+    a = random_features(100, 64, seed=1)
+    b = random_features(100, 64, seed=1)
+    assert np.allclose(a, b)
+    assert a.dtype == np.float32
+    assert abs(float(a.std()) - 1.0 / np.sqrt(64)) < 0.05
+
+
+def test_uniform_features_range():
+    f = uniform_features(50, 3, low=-1.0, high=1.0, seed=0)
+    assert f.min() >= -1.0 and f.max() < 1.0
+
+
+def test_one_hot_labels():
+    labels = np.array([0, 2, 1])
+    onehot = one_hot_labels(labels)
+    assert onehot.shape == (3, 3)
+    assert np.allclose(onehot.sum(axis=1), 1.0)
+    assert one_hot_labels(np.array([], dtype=np.int64)).shape == (0, 0)
+
+
+def test_one_hot_labels_validation():
+    with pytest.raises(ShapeError):
+        one_hot_labels(np.zeros((2, 2)))
+
+
+def test_degree_features(small_square_csr):
+    f = degree_features(small_square_csr, dim=6)
+    assert f.shape == (small_square_csr.nrows, 6)
+    assert np.isfinite(f).all()
+
+
+def test_xavier_init_limits():
+    w = xavier_init(100, 50, seed=0)
+    limit = np.sqrt(6.0 / 150)
+    assert w.shape == (100, 50)
+    assert np.abs(w).max() <= limit + 1e-6
+
+
+def test_feature_init_validation():
+    with pytest.raises(ShapeError):
+        random_features(-1, 4)
+    with pytest.raises(ShapeError):
+        uniform_features(4, -1)
+    with pytest.raises(ShapeError):
+        xavier_init(-1, 3)

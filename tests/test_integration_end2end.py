@@ -1,0 +1,122 @@
+"""Integration tests spanning multiple subsystems end to end.
+
+These tests chain dataset generation → kernels → applications → evaluation
+the way the examples and experiments do, on sizes small enough for CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FusedMM, fusedmm
+from repro.apps import (
+    GCN,
+    GCNConfig,
+    Force2Vec,
+    Force2VecConfig,
+    FRLayout,
+    FRLayoutConfig,
+    evaluate_embeddings,
+)
+from repro.baselines import unfused_fusedmm
+from repro.graphs import Graph, load_dataset, one_hot_labels, random_features
+from repro.perf import fusedmm_memory_bytes, time_kernel
+from repro.sparse import write_matrix_market, read_matrix_market
+
+
+def test_dataset_to_kernel_to_embedding_pipeline():
+    """Load a synthetic dataset, run the kernel, train a few epochs and
+    evaluate — the quickstart path."""
+    graph = load_dataset("cora", scale=0.5)
+    X = random_features(graph.num_vertices, 32, seed=0)
+    Z = fusedmm(graph.adjacency, X, pattern="sigmoid_embedding")
+    assert Z.shape == X.shape
+
+    model = Force2Vec(graph, Force2VecConfig(dim=32, epochs=15, learning_rate=0.1, seed=0))
+    emb = model.train()
+    metrics = evaluate_embeddings(emb, graph.labels, seed=0)
+    assert metrics["f1_micro"] > 0.35  # well above the 1/7 random baseline
+
+
+def test_fused_and_unfused_training_reach_same_embeddings():
+    graph = load_dataset("cora", scale=0.4)
+    runs = {}
+    for backend in ("fused", "unfused"):
+        model = Force2Vec(
+            graph, Force2VecConfig(dim=16, epochs=3, seed=5, backend=backend, batch_size=128)
+        )
+        runs[backend] = model.train()
+    assert np.allclose(runs["fused"], runs["unfused"], atol=1e-3)
+
+
+def test_gcn_on_synthetic_pubmed_learns():
+    graph = load_dataset("pubmed", scale=0.1)
+    rng = np.random.default_rng(0)
+    noisy = one_hot_labels(graph.labels, graph.num_classes)
+    noisy = noisy + 0.3 * rng.standard_normal(noisy.shape).astype(np.float32)
+    graph = graph.with_features(noisy.astype(np.float32))
+    gcn = GCN(graph, config=GCNConfig(hidden_dim=16, epochs=30, learning_rate=0.3, seed=0))
+    gcn.fit()
+    assert gcn.accuracy() > 0.6
+
+
+def test_layout_and_kernel_share_adjacency():
+    graph = load_dataset("youtube", scale=0.05)
+    layout = FRLayout(graph, FRLayoutConfig(iterations=3, seed=0, repulsive_samples=1))
+    pos = layout.run()
+    assert pos.shape == (graph.num_vertices, 2)
+    # The same adjacency feeds a planned FusedMM kernel.
+    kernel = FusedMM(graph.adjacency, pattern="fr_layout")
+    Z = kernel(pos.astype(np.float32))
+    assert Z.shape == pos.shape
+
+
+def test_matrix_market_export_import_kernel_equivalence(tmp_path):
+    graph = load_dataset("cora", scale=0.3)
+    path = tmp_path / "cora.mtx"
+    write_matrix_market(path, graph.adjacency)
+    reloaded = read_matrix_market(path)
+    X = random_features(graph.num_vertices, 8, seed=1)
+    a = fusedmm(graph.adjacency, X, pattern="gcn")
+    b = fusedmm(reloaded, X, pattern="gcn")
+    assert np.allclose(a, b, atol=1e-4)
+
+
+def test_fused_uses_less_peak_traffic_than_unfused_for_fr():
+    """The memory-model ordering behind Fig. 10(b), checked through the
+    byte-accounting API on a real synthetic graph."""
+    graph = load_dataset("flickr", scale=0.2)
+    from repro.baselines import unfused_memory_bytes
+
+    d = 64
+    fused_bytes = fusedmm_memory_bytes(graph.adjacency, d).total_bytes
+    unfused_bytes = unfused_memory_bytes(graph.adjacency, d, pattern="fr_layout")
+    assert unfused_bytes > 1.5 * fused_bytes
+
+
+def test_kernel_timing_protocol_runs():
+    graph = load_dataset("amazon", scale=0.1)
+    X = random_features(graph.num_vertices, 32, seed=0)
+    timing = time_kernel(
+        fusedmm, graph.adjacency, X, pattern="sigmoid_embedding", repeats=2, warmup=1
+    )
+    assert timing.mean > 0
+    baseline = time_kernel(
+        unfused_fusedmm, graph.adjacency, X, X, pattern="sigmoid_embedding", repeats=2
+    )
+    assert baseline.mean > 0
+
+
+def test_planned_kernel_reuse_across_epoch_like_loop():
+    graph = load_dataset("cora", scale=0.4)
+    kernel = FusedMM(graph.adjacency, pattern="sigmoid_embedding", num_threads=2)
+    X = random_features(graph.num_vertices, 16, seed=2).astype(np.float32)
+    previous = None
+    for _ in range(3):
+        Z = kernel(X)
+        X = (0.5 * X + 0.5 * Z / (np.linalg.norm(Z, axis=1, keepdims=True) + 1e-9)).astype(
+            np.float32
+        )
+        assert np.isfinite(X).all()
+        if previous is not None:
+            assert X.shape == previous.shape
+        previous = X

@@ -1,0 +1,154 @@
+"""Unit tests for PART1D partitioning and the thread-parallel driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import ParallelConfig, available_threads, run_partitioned
+from repro.core.partition import RowPartition, part1d, partition_balance
+from repro.errors import PartitionError
+from repro.sparse import CSRMatrix, block_diagonal_csr, random_csr
+from repro.graphs.generators import star
+
+
+def _check_cover(parts, nrows):
+    assert parts[0].start == 0
+    assert parts[-1].stop == nrows
+    for prev, cur in zip(parts, parts[1:]):
+        assert prev.stop == cur.start
+
+
+def test_part1d_covers_all_rows(small_square_csr):
+    for t in (1, 2, 3, 7, 16):
+        parts = part1d(small_square_csr, t)
+        assert len(parts) == t
+        _check_cover(parts, small_square_csr.nrows)
+
+
+def test_part1d_nnz_sums_to_total(small_square_csr):
+    parts = part1d(small_square_csr, 5)
+    assert sum(p.nnz for p in parts) == small_square_csr.nnz
+
+
+def test_part1d_balances_uniform_matrix():
+    A = random_csr(400, 400, density=0.05, seed=1)
+    parts = part1d(A, 4)
+    balance = partition_balance(parts)
+    assert balance < 1.3  # uniform matrices should be close to perfectly balanced
+
+
+def test_part1d_single_part_is_everything(small_square_csr):
+    parts = part1d(small_square_csr, 1)
+    assert parts[0].start == 0 and parts[0].stop == small_square_csr.nrows
+    assert parts[0].nnz == small_square_csr.nnz
+
+
+def test_part1d_more_parts_than_rows():
+    A = random_csr(3, 3, density=0.5, seed=0)
+    parts = part1d(A, 10)
+    assert len(parts) == 10
+    _check_cover(parts, 3)
+
+
+def test_part1d_empty_matrix():
+    A = CSRMatrix.empty(5, 5)
+    parts = part1d(A, 3)
+    _check_cover(parts, 5)
+    assert sum(p.nnz for p in parts) == 0
+
+
+def test_part1d_star_graph_hub_row():
+    # The hub row holds almost all nonzeros; PART1D cannot split it, but
+    # must still produce a valid cover.
+    A = star(100)
+    parts = part1d(A, 4)
+    _check_cover(parts, A.nrows)
+    assert max(p.nnz for p in parts) >= A.nnz // 2
+
+
+def test_part1d_accepts_indptr_array(small_square_csr):
+    parts_a = part1d(small_square_csr, 3)
+    parts_b = part1d(small_square_csr.indptr, 3)
+    assert parts_a == parts_b
+
+
+def test_part1d_invalid_inputs():
+    with pytest.raises(PartitionError):
+        part1d(CSRMatrix.identity(3), 0)
+    with pytest.raises(PartitionError):
+        part1d(np.array([]), 2)
+
+
+def test_partition_balance_skewed():
+    A = block_diagonal_csr([50, 2, 2, 2])
+    balanced = part1d(A, 4)
+    assert partition_balance(balanced) >= 1.0
+
+
+def test_partition_balance_empty_list():
+    with pytest.raises(PartitionError):
+        partition_balance([])
+
+
+def test_row_partition_len():
+    p = RowPartition(3, 9, 42)
+    assert p.num_rows == 6
+    assert len(p) == 6
+
+
+# ------------------------------------------------------------------ #
+# Parallel driver
+# ------------------------------------------------------------------ #
+def test_parallel_config_defaults():
+    cfg = ParallelConfig()
+    assert cfg.num_threads >= 1
+    assert cfg.num_parts >= cfg.num_threads
+
+
+def test_parallel_config_validation():
+    with pytest.raises(PartitionError):
+        ParallelConfig(num_threads=-1)
+    with pytest.raises(PartitionError):
+        ParallelConfig(parts_per_thread=0)
+
+
+def test_available_threads_positive():
+    assert available_threads() >= 1
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_run_partitioned_writes_disjoint_slices(small_square_csr, threads):
+    A = small_square_csr
+    Z = np.zeros((A.nrows, 4))
+    degrees = A.row_degrees()
+
+    def kernel(part, z_slice):
+        # Write the row degree into every column of the partition's rows.
+        z_slice[:] = degrees[part.start : part.stop, None]
+
+    run_partitioned(A, Z, kernel, config=ParallelConfig(num_threads=threads))
+    assert np.allclose(Z, degrees[:, None])
+
+
+def test_run_partitioned_propagates_exceptions(small_square_csr):
+    Z = np.zeros((small_square_csr.nrows, 2))
+
+    def broken(part, z_slice):
+        raise RuntimeError("kernel failed")
+
+    with pytest.raises(RuntimeError, match="kernel failed"):
+        run_partitioned(small_square_csr, Z, broken, config=ParallelConfig(num_threads=2))
+
+
+def test_run_partitioned_with_explicit_parts(small_square_csr):
+    A = small_square_csr
+    Z = np.zeros((A.nrows, 1))
+    parts = part1d(A, 3)
+    calls = []
+
+    def kernel(part, z_slice):
+        calls.append(part)
+        z_slice[:] = 1.0
+
+    run_partitioned(A, Z, kernel, parts=parts, config=ParallelConfig(num_threads=1))
+    assert np.allclose(Z, 1.0)
+    assert all(p.num_rows > 0 for p in calls)

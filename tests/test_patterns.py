@@ -1,0 +1,99 @@
+"""Unit tests for the application pattern registry (Table III)."""
+
+import pytest
+
+from repro.core.operators import make_mlp_vop
+from repro.core.patterns import OpPattern, get_pattern, list_patterns, register_pattern
+from repro.errors import PatternError
+from repro.graphs.features import xavier_init
+
+
+def test_builtin_patterns_present():
+    names = list_patterns()
+    for expected in ["sigmoid_embedding", "fr_layout", "gcn", "gnn_mlp", "spmm", "sddmm_dot"]:
+        assert expected in names
+
+
+def test_get_pattern_by_name_and_instance():
+    p = get_pattern("gcn")
+    assert isinstance(p, OpPattern)
+    assert get_pattern(p) is p
+
+
+def test_get_pattern_unknown():
+    with pytest.raises(PatternError):
+        get_pattern("no_such_pattern")
+
+
+def test_get_pattern_bad_type():
+    with pytest.raises(PatternError):
+        get_pattern(3.14)
+
+
+def test_get_pattern_none_with_overrides():
+    p = get_pattern(None, vop="MUL", rop="RSUM", sop="SIGMOID", mop="MUL", aop="ASUM")
+    resolved = p.resolved()
+    assert resolved.is_sigmoid_embedding
+
+
+def test_pattern_with_ops_override():
+    p = get_pattern("sigmoid_embedding", sop="RELU")
+    resolved = p.resolved()
+    assert resolved.sop.name == "RELU"
+    assert not resolved.is_sigmoid_embedding
+
+
+def test_resolved_table3_rows():
+    emb = get_pattern("sigmoid_embedding").resolved()
+    assert emb.is_sigmoid_embedding and emb.message_is_scalar
+    fr = get_pattern("fr_layout").resolved()
+    assert fr.is_fr_layout and fr.message_is_scalar
+    gcn = get_pattern("gcn").resolved()
+    assert gcn.is_spmm_like and not gcn.message_is_scalar
+    spmm = get_pattern("spmm").resolved()
+    assert spmm.is_spmm_like
+
+
+def test_resolved_op_names():
+    names = get_pattern("sigmoid_embedding").resolved().op_names()
+    assert names == {
+        "vop": "MUL",
+        "rop": "RSUM",
+        "sop": "SIGMOID",
+        "mop": "MUL",
+        "aop": "ASUM",
+    }
+
+
+def test_invalid_slot_assignment_rejected():
+    # RSUM is a reduction and may not occupy the VOP slot.
+    with pytest.raises(PatternError):
+        OpPattern(name="bad", vop="RSUM", aop="ASUM").resolved()
+
+
+def test_aop_must_be_real_accumulator():
+    with pytest.raises(PatternError):
+        OpPattern(name="bad", vop="MUL", aop="NOOP").resolved()
+
+
+def test_register_pattern_and_duplicate():
+    p = OpPattern(name="test_custom_pattern", vop="ADD", aop="ASUM")
+    register_pattern(p, overwrite=True)
+    assert get_pattern("test_custom_pattern").vop == "ADD"
+    with pytest.raises(PatternError):
+        register_pattern(p)
+
+
+def test_gnn_mlp_pattern_with_user_operator():
+    mlp = make_mlp_vop(xavier_init(8, 4, seed=0))
+    p = get_pattern("gnn_mlp", vop=mlp)
+    resolved = p.resolved()
+    assert resolved.vop is mlp
+    assert resolved.aop.name == "AMAX"
+
+
+def test_message_is_scalar_depends_on_rop():
+    scalar = OpPattern(name="s", vop="MUL", rop="RSUM", aop="ASUM").resolved()
+    vector = OpPattern(name="v", vop="MUL", rop="NOOP", aop="ASUM").resolved()
+    assert scalar.message_is_scalar
+    assert not vector.message_is_scalar

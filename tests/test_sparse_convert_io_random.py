@@ -1,0 +1,207 @@
+"""Unit tests for sparse conversions, Matrix Market I/O and random matrices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SparseFormatError
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    as_coo,
+    as_csr,
+    banded_csr,
+    block_diagonal_csr,
+    from_networkx,
+    random_bipartite,
+    random_csr,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+# --------------------------------------------------------------------- #
+# as_csr / as_coo coercions
+# --------------------------------------------------------------------- #
+def test_as_csr_passthrough(tiny_csr):
+    assert as_csr(tiny_csr) is tiny_csr
+
+
+def test_as_csr_from_coo():
+    coo = COOMatrix(2, 2, np.array([0]), np.array([1]), np.array([2.0]))
+    csr = as_csr(coo)
+    assert isinstance(csr, CSRMatrix)
+    assert csr.to_dense()[0, 1] == pytest.approx(2.0)
+
+
+def test_as_csr_from_dense():
+    dense = np.array([[0.0, 1.0], [2.0, 0.0]])
+    csr = as_csr(dense)
+    assert np.allclose(csr.to_dense(), dense)
+
+
+def test_as_csr_from_scipy(small_square_csr):
+    scipy_mat = small_square_csr.to_scipy()
+    assert as_csr(scipy_mat) == small_square_csr
+
+
+def test_as_csr_from_edge_list_requires_shape():
+    with pytest.raises(SparseFormatError):
+        as_csr([(0, 1)])
+    csr = as_csr([(0, 1), (1, 2)], shape=(3, 3))
+    assert csr.nnz == 2
+
+
+def test_as_csr_rejects_garbage():
+    with pytest.raises(SparseFormatError):
+        as_csr(42)
+
+
+def test_as_coo_from_csr(tiny_csr):
+    coo = as_coo(tiny_csr)
+    assert isinstance(coo, COOMatrix)
+    assert np.allclose(coo.to_dense(), tiny_csr.to_dense())
+
+
+def test_from_networkx_undirected():
+    nx = pytest.importorskip("networkx")
+    g = nx.Graph()
+    g.add_nodes_from(range(4))
+    g.add_edge(0, 1, weight=2.0)
+    g.add_edge(2, 3)
+    csr = from_networkx(g, weight="weight")
+    dense = csr.to_dense()
+    assert dense[0, 1] == pytest.approx(2.0)
+    assert dense[1, 0] == pytest.approx(2.0)
+    assert dense[2, 3] == pytest.approx(1.0)
+
+
+def test_as_csr_from_networkx_graph():
+    nx = pytest.importorskip("networkx")
+    g = nx.path_graph(5)
+    csr = as_csr(g)
+    assert csr.shape == (5, 5)
+    assert csr.nnz == 8  # 4 undirected edges stored in both directions
+
+
+# --------------------------------------------------------------------- #
+# Matrix Market I/O
+# --------------------------------------------------------------------- #
+def test_matrix_market_roundtrip(tmp_path, small_rect_csr):
+    path = tmp_path / "mat.mtx"
+    write_matrix_market(path, small_rect_csr, comment="test matrix")
+    back = read_matrix_market(path)
+    assert np.allclose(back.to_dense(), small_rect_csr.to_dense(), atol=1e-5)
+
+
+def test_matrix_market_roundtrip_gzip(tmp_path, tiny_csr):
+    path = tmp_path / "mat.mtx.gz"
+    write_matrix_market(path, tiny_csr)
+    back = read_matrix_market(path)
+    assert np.allclose(back.to_dense(), tiny_csr.to_dense(), atol=1e-5)
+
+
+def test_matrix_market_coo_output(tmp_path, tiny_csr):
+    path = tmp_path / "mat.mtx"
+    write_matrix_market(path, tiny_csr)
+    coo = read_matrix_market(path, as_format="coo")
+    assert isinstance(coo, COOMatrix)
+
+
+def test_matrix_market_symmetric_expansion(tmp_path):
+    path = tmp_path / "sym.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "2 1 5.0\n"
+        "3 3 7.0\n"
+    )
+    csr = read_matrix_market(path)
+    dense = csr.to_dense()
+    assert dense[1, 0] == pytest.approx(5.0)
+    assert dense[0, 1] == pytest.approx(5.0)
+    assert dense[2, 2] == pytest.approx(7.0)
+
+
+def test_matrix_market_pattern_field(tmp_path):
+    path = tmp_path / "pat.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "% a comment line\n"
+        "2 2 2\n"
+        "1 2\n"
+        "2 1\n"
+    )
+    csr = read_matrix_market(path)
+    assert np.allclose(csr.to_dense(), [[0, 1], [1, 0]])
+
+
+def test_matrix_market_rejects_dense_array_format(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+    with pytest.raises(SparseFormatError):
+        read_matrix_market(path)
+
+
+def test_matrix_market_rejects_missing_header(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("3 3 1\n1 1 1.0\n")
+    with pytest.raises(SparseFormatError):
+        read_matrix_market(path)
+
+
+def test_matrix_market_unknown_format_arg(tmp_path, tiny_csr):
+    path = tmp_path / "m.mtx"
+    write_matrix_market(path, tiny_csr)
+    with pytest.raises(ValueError):
+        read_matrix_market(path, as_format="dense")
+
+
+def test_write_matrix_market_type_check(tmp_path):
+    with pytest.raises(TypeError):
+        write_matrix_market(tmp_path / "x.mtx", np.eye(3))
+
+
+# --------------------------------------------------------------------- #
+# Random / structured generators
+# --------------------------------------------------------------------- #
+def test_random_csr_density_and_determinism():
+    A = random_csr(100, 100, density=0.05, seed=1)
+    B = random_csr(100, 100, density=0.05, seed=1)
+    assert A == B
+    assert 0 < A.nnz <= 0.05 * 100 * 100 * 1.1
+
+
+def test_random_csr_density_bounds():
+    with pytest.raises(ShapeError):
+        random_csr(10, 10, density=1.5)
+    assert random_csr(10, 10, density=0.0).nnz == 0
+
+
+def test_random_bipartite_shape_and_degree():
+    A = random_bipartite(50, 500, avg_degree=4, seed=2)
+    assert A.shape == (50, 500)
+    assert 1.0 < A.avg_degree() < 8.0
+
+
+def test_random_bipartite_negative_degree():
+    with pytest.raises(ShapeError):
+        random_bipartite(5, 5, avg_degree=-1)
+
+
+def test_banded_csr_degrees():
+    A = banded_csr(10, bandwidth=1)
+    degs = A.row_degrees()
+    assert degs[0] == 1 and degs[-1] == 1
+    assert all(d == 2 for d in degs[1:-1])
+
+
+def test_banded_csr_zero_bandwidth():
+    assert banded_csr(5, bandwidth=0).nnz == 0
+
+
+def test_block_diagonal_structure():
+    A = block_diagonal_csr([3, 2])
+    dense = A.to_dense()
+    assert dense[:3, 3:].sum() == 0
+    assert dense[3:, :3].sum() == 0
+    assert dense[:3, :3].sum() == 9

@@ -1,0 +1,135 @@
+"""Unit tests for the COO matrix substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SparseFormatError
+from repro.sparse import COOMatrix
+
+
+def test_basic_construction_and_shape():
+    coo = COOMatrix(3, 4, np.array([0, 1, 2]), np.array([1, 2, 3]), np.array([1.0, 2.0, 3.0]))
+    assert coo.shape == (3, 4)
+    assert coo.nnz == 3
+    assert coo.dtype == np.float32 or np.issubdtype(coo.dtype, np.floating)
+
+
+def test_default_values_are_ones():
+    coo = COOMatrix(2, 2, np.array([0, 1]), np.array([1, 0]))
+    assert np.allclose(coo.vals, 1.0)
+
+
+def test_integer_values_cast_to_float():
+    coo = COOMatrix(2, 2, np.array([0]), np.array([1]), np.array([5]))
+    assert np.issubdtype(coo.vals.dtype, np.floating)
+
+
+def test_negative_dimension_rejected():
+    with pytest.raises(ShapeError):
+        COOMatrix(-1, 2, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(SparseFormatError):
+        COOMatrix(3, 3, np.array([0, 1]), np.array([0]), np.array([1.0, 2.0]))
+
+
+def test_out_of_range_row_rejected():
+    with pytest.raises(SparseFormatError):
+        COOMatrix(2, 2, np.array([2]), np.array([0]))
+
+
+def test_out_of_range_col_rejected():
+    with pytest.raises(SparseFormatError):
+        COOMatrix(2, 2, np.array([0]), np.array([5]))
+
+
+def test_from_edges():
+    coo = COOMatrix.from_edges([(0, 1), (1, 2), (2, 0)], nrows=3)
+    assert coo.shape == (3, 3)
+    assert coo.nnz == 3
+
+
+def test_from_edges_empty():
+    coo = COOMatrix.from_edges([], nrows=4, ncols=5)
+    assert coo.shape == (4, 5)
+    assert coo.nnz == 0
+
+
+def test_from_edges_bad_shape_rejected():
+    with pytest.raises(SparseFormatError):
+        COOMatrix.from_edges([(0, 1, 2)], nrows=3)
+
+
+def test_empty_constructor():
+    coo = COOMatrix.empty(3, 7)
+    assert coo.shape == (3, 7)
+    assert coo.nnz == 0
+    assert coo.to_dense().sum() == 0.0
+
+
+def test_deduplicate_sum():
+    coo = COOMatrix(2, 2, np.array([0, 0, 1]), np.array([1, 1, 0]), np.array([1.0, 2.0, 3.0]))
+    dedup = coo.deduplicate(op="sum")
+    assert dedup.nnz == 2
+    dense = dedup.to_dense()
+    assert dense[0, 1] == pytest.approx(3.0)
+    assert dense[1, 0] == pytest.approx(3.0)
+
+
+def test_deduplicate_max_and_last():
+    coo = COOMatrix(2, 2, np.array([0, 0]), np.array([1, 1]), np.array([5.0, 2.0]))
+    assert coo.deduplicate(op="max").to_dense()[0, 1] == pytest.approx(5.0)
+    assert coo.deduplicate(op="last").to_dense()[0, 1] == pytest.approx(2.0)
+
+
+def test_deduplicate_unknown_op():
+    coo = COOMatrix.empty(2, 2)
+    with pytest.raises(ValueError):
+        COOMatrix(2, 2, np.array([0]), np.array([1])).deduplicate(op="median")
+    assert coo.deduplicate().nnz == 0  # empty matrix stays empty
+
+
+def test_transpose_roundtrip():
+    coo = COOMatrix(3, 5, np.array([0, 2]), np.array([4, 1]), np.array([1.5, 2.5]))
+    t = coo.transpose()
+    assert t.shape == (5, 3)
+    assert np.allclose(t.to_dense(), coo.to_dense().T)
+    assert np.allclose(t.transpose().to_dense(), coo.to_dense())
+
+
+def test_symmetrize_contains_both_directions():
+    coo = COOMatrix(3, 3, np.array([0]), np.array([1]), np.array([2.0]))
+    sym = coo.symmetrize()
+    dense = sym.to_dense()
+    assert dense[0, 1] == pytest.approx(2.0)
+    assert dense[1, 0] == pytest.approx(2.0)
+
+
+def test_symmetrize_does_not_double_existing_symmetric_entries():
+    coo = COOMatrix(2, 2, np.array([0, 1]), np.array([1, 0]), np.array([3.0, 3.0]))
+    sym = coo.symmetrize()
+    assert sym.to_dense()[0, 1] == pytest.approx(3.0)
+
+
+def test_drop_self_loops():
+    coo = COOMatrix(3, 3, np.array([0, 1, 2]), np.array([0, 2, 2]), np.array([1.0, 1.0, 1.0]))
+    out = coo.drop_self_loops()
+    assert out.nnz == 1
+    assert out.to_dense()[1, 2] == pytest.approx(1.0)
+
+
+def test_to_dense_accumulates_duplicates():
+    coo = COOMatrix(1, 1, np.array([0, 0]), np.array([0, 0]), np.array([1.0, 2.0]))
+    assert coo.to_dense()[0, 0] == pytest.approx(3.0)
+
+
+def test_row_degrees():
+    coo = COOMatrix(3, 3, np.array([0, 0, 2]), np.array([1, 2, 0]))
+    assert list(coo.row_degrees()) == [2, 0, 1]
+
+
+def test_to_csr_roundtrip_values():
+    coo = COOMatrix(3, 3, np.array([2, 0, 1]), np.array([0, 2, 1]), np.array([1.0, 2.0, 3.0]))
+    csr = coo.to_csr()
+    assert np.allclose(csr.to_dense(), coo.to_dense())

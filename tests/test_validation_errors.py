@@ -1,0 +1,100 @@
+"""Unit tests for operand validation and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.core.validation import ensure_float_matrix, validate_operands
+from repro.sparse import CSRMatrix, random_csr
+
+
+# ------------------------------------------------------------------ #
+# Exception hierarchy
+# ------------------------------------------------------------------ #
+def test_all_errors_derive_from_repro_error():
+    for name in [
+        "ShapeError",
+        "DTypeError",
+        "SparseFormatError",
+        "OperatorError",
+        "PatternError",
+        "BackendError",
+        "PartitionError",
+        "CodegenError",
+        "DatasetError",
+        "ConvergenceError",
+    ]:
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_shape_error_is_value_error():
+    assert issubclass(errors.ShapeError, ValueError)
+    assert issubclass(errors.DTypeError, TypeError)
+    assert issubclass(errors.DatasetError, KeyError)
+
+
+# ------------------------------------------------------------------ #
+# ensure_float_matrix
+# ------------------------------------------------------------------ #
+def test_ensure_float_matrix_accepts_float_and_int():
+    out = ensure_float_matrix(np.ones((2, 3), dtype=np.float32), "X")
+    assert out.dtype == np.float32
+    out_int = ensure_float_matrix(np.ones((2, 3), dtype=np.int32), "X")
+    assert np.issubdtype(out_int.dtype, np.floating)
+    out_bool = ensure_float_matrix(np.ones((2, 3), dtype=bool), "X")
+    assert np.issubdtype(out_bool.dtype, np.floating)
+
+
+def test_ensure_float_matrix_rejects_bad_inputs():
+    with pytest.raises(errors.ShapeError):
+        ensure_float_matrix(np.ones(3), "X")
+    with pytest.raises(errors.DTypeError):
+        ensure_float_matrix(np.array([["a", "b"]]), "X")
+
+
+def test_ensure_float_matrix_returns_contiguous():
+    arr = np.ones((4, 6), dtype=np.float32)[:, ::2]
+    assert not arr.flags["C_CONTIGUOUS"]
+    assert ensure_float_matrix(arr, "X").flags["C_CONTIGUOUS"]
+
+
+# ------------------------------------------------------------------ #
+# validate_operands
+# ------------------------------------------------------------------ #
+def test_validate_operands_defaults_y_to_x():
+    A = random_csr(10, 10, density=0.2, seed=0)
+    X = np.ones((10, 4), dtype=np.float32)
+    A2, X2, Y2 = validate_operands(A, X)
+    assert Y2 is X2
+
+
+def test_validate_operands_rectangular_requires_y():
+    A = random_csr(5, 8, density=0.2, seed=0)
+    X = np.ones((5, 4), dtype=np.float32)
+    with pytest.raises(errors.ShapeError):
+        validate_operands(A, X)
+    Y = np.ones((8, 4), dtype=np.float32)
+    A2, X2, Y2 = validate_operands(A, X, Y)
+    assert A2.shape == (5, 8)
+
+
+def test_validate_operands_row_and_dim_mismatches():
+    A = random_csr(6, 6, density=0.2, seed=0)
+    with pytest.raises(errors.ShapeError):
+        validate_operands(A, np.ones((5, 4), dtype=np.float32))
+    with pytest.raises(errors.ShapeError):
+        validate_operands(
+            A, np.ones((6, 4), dtype=np.float32), np.ones((5, 4), dtype=np.float32)
+        )
+    with pytest.raises(errors.ShapeError):
+        validate_operands(
+            A, np.ones((6, 4), dtype=np.float32), np.ones((6, 3), dtype=np.float32)
+        )
+
+
+def test_validate_operands_coerces_adjacency():
+    dense = np.eye(4, dtype=np.float32)
+    A, X, Y = validate_operands(dense, np.ones((4, 2), dtype=np.float32))
+    assert isinstance(A, CSRMatrix)
+    assert A.nnz == 4
