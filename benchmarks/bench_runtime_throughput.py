@@ -1,0 +1,74 @@
+"""Microbenchmark: batched kernel runtime vs per-call planning.
+
+Measures the two throughput claims of the runtime subsystem:
+
+1. plan-cached repeated calls on a fixed 10k-node graph are ≥ 2× faster
+   than cold calls that re-resolve, re-partition and re-tune every time;
+2. ``run_batch`` of 32 small requests (packed block-diagonally) beats 32
+   sequential ``fusedmm`` calls — bitwise identically.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_runtime_throughput.py [--quick]
+
+or via the CLI: ``python -m repro bench runtime``.  The process exits
+non-zero if either speedup target is missed, so CI can use it as a smoke
+gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench.runtime_bench import run_throughput_benchmark  # noqa: E402
+from repro.bench.tables import format_table  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument("--threads", type=int, default=1)
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="report only; do not fail on missed speedup targets",
+    )
+    args = parser.parse_args(argv)
+
+    rows = run_throughput_benchmark(quick=args.quick, num_threads=args.threads)
+    print(format_table(rows, title="Kernel-runtime throughput"))
+
+    plan_rows = [r for r in rows if r["benchmark"] == "plan_cache"]
+    batch_rows = [r for r in rows if r["benchmark"] == "batch_packing"]
+    failures = []
+    # The 2× plan-cache target is part of the full-size benchmark contract;
+    # --quick runs use graphs small enough that we only require a win.
+    plan_target = 1.0 if args.quick else 2.0
+    for r in plan_rows:
+        if r["speedup"] < plan_target:
+            failures.append(
+                f"plan cache speedup {r['speedup']:.2f}x < {plan_target:.1f}x ({r['graph']})"
+            )
+    for r in batch_rows:
+        if r["speedup"] < 1.0:
+            failures.append(
+                f"batch packing speedup {r['speedup']:.2f}x < 1.0x ({r['graph']})"
+            )
+    if failures and not args.no_check:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("runtime throughput targets met" if not failures else "targets missed (reported only)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,7 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.graphs import load_dataset, random_features  # noqa: E402
+from repro.graphs import load_dataset  # noqa: E402
 
 #: Scale factor applied to every dataset used in benchmarks.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
@@ -62,6 +62,8 @@ def cora_graph():
     return load_dataset("cora", scale=1.0)
 
 
-def features_for(graph, d: int, seed: int = 0) -> np.ndarray:
-    """Random features sized for a graph (helper used by the benchmarks)."""
-    return random_features(graph.num_vertices, d, seed=seed)
+# NOTE: no module-level helpers here.  Benchmark modules import helpers
+# (``features_for``) from ``_bench_utils`` explicitly; putting them in a
+# ``conftest`` invites ``from conftest import ...``, which collides with
+# ``tests/conftest.py`` at collection time (both land on sys.path under
+# the bare module name ``conftest``).

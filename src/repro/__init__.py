@@ -46,6 +46,7 @@ from .core import (
     register_op,
     register_pattern,
 )
+from .runtime import EpochStream, KernelRequest, KernelRuntime
 from .sparse import COOMatrix, CSRMatrix, as_csr
 from .version import __version__
 
@@ -67,4 +68,7 @@ __all__ = [
     "CSRMatrix",
     "COOMatrix",
     "as_csr",
+    "KernelRuntime",
+    "KernelRequest",
+    "EpochStream",
 ]

@@ -36,10 +36,10 @@ import numpy as np
 from ..baselines.dense import dense_sigmoid_embedding, dense_spmm
 from ..baselines.unfused import unfused_fusedmm
 from ..core.fused import fusedmm
-from ..core.specialized import sigmoid_embedding_kernel, spmm_kernel
 from ..errors import BackendError, ShapeError
 from ..graphs.features import random_features
 from ..graphs.graph import Graph
+from ..runtime import KernelRuntime
 from ..sparse import CSRMatrix
 from .sampling import NegativeSampler, minibatch_indices
 
@@ -118,6 +118,16 @@ class Force2Vec:
             degrees=self.adjacency.row_degrees(),
             seed=self.config.seed + 7,
         )
+        # The adjacency is fixed across all epochs; bind the two kernel
+        # patterns of the gradient (sigmoid aggregation + plain SpMM) to
+        # cached plans once and stream every minibatch through them.
+        self._runtime = KernelRuntime(
+            num_threads=self.config.num_threads, cache_size=4
+        )
+        self._sig_stream = self._runtime.epochs(
+            self.adjacency, pattern="sigmoid_embedding"
+        )
+        self._agg_stream = self._runtime.epochs(self.adjacency, pattern="gcn")
         self.history: List[EpochStats] = []
 
     # ------------------------------------------------------------------ #
@@ -127,9 +137,7 @@ class Force2Vec:
         """``Σ_v σ(x_u·y_v) y_v`` with the configured backend."""
         backend = self.config.backend
         if backend == "fused":
-            return sigmoid_embedding_kernel(
-                A, X, Y, num_threads=self.config.num_threads
-            )
+            return self._sig_stream.run_on(A, X, Y)
         if backend == "fused_generic":
             return fusedmm(A, X, Y, pattern="sigmoid_embedding", backend="generic")
         if backend == "unfused":
@@ -142,7 +150,7 @@ class Force2Vec:
         """``Σ_v a_uv y_v`` (plain SpMM) with the configured backend."""
         backend = self.config.backend
         if backend in ("fused", "fused_generic"):
-            return spmm_kernel(A, Y, num_threads=self.config.num_threads)
+            return self._agg_stream.run_on(A, None, Y)
         if backend == "unfused":
             X_dummy = np.zeros((A.nrows, Y.shape[1]), dtype=Y.dtype)
             return unfused_fusedmm(A, X_dummy, Y, pattern="gcn")

@@ -27,10 +27,10 @@ import numpy as np
 
 from ..baselines.unfused import unfused_fusedmm
 from ..core.fused import fusedmm
-from ..core.specialized import fr_layout_kernel
 from ..errors import BackendError, ShapeError
 from ..graphs.features import uniform_features
 from ..graphs.graph import Graph
+from ..runtime import KernelRuntime
 from ..sparse import CSRMatrix
 from .sampling import NegativeSampler
 
@@ -76,6 +76,12 @@ class FRLayout:
             graph.num_vertices, self.config.dim, seed=self.config.seed
         ).astype(np.float64)
         self._sampler = NegativeSampler(graph.num_vertices, seed=self.config.seed + 3)
+        # One plan for the whole cooling schedule: the adjacency never
+        # changes between iterations, so planning happens exactly once and
+        # every step streams through the cached plan.  The sampled
+        # repulsive matrices reuse the same plan via ``run_on``.
+        self._runtime = KernelRuntime(num_threads=self.config.num_threads, cache_size=4)
+        self._force_stream = self._runtime.epochs(self.adjacency, pattern="fr_layout")
         self.iteration_seconds: List[float] = []
 
     # ------------------------------------------------------------------ #
@@ -83,9 +89,7 @@ class FRLayout:
         """Attractive displacements via the fr_layout FusedMM pattern."""
         backend = self.config.backend
         if backend == "fused":
-            return fr_layout_kernel(
-                self.adjacency, P32, P32, num_threads=self.config.num_threads
-            ).astype(np.float64)
+            return self._force_stream.step(P32, P32).astype(np.float64)
         if backend == "fused_generic":
             return fusedmm(
                 self.adjacency, P32, P32, pattern="fr_layout", backend="generic"
@@ -115,7 +119,7 @@ class FRLayout:
         if self.config.backend == "unfused":
             rep = unfused_fusedmm(A_neg, P32, P32, pattern="fr_layout")
         else:
-            rep = fr_layout_kernel(A_neg, P32, P32, num_threads=self.config.num_threads)
+            rep = self._force_stream.run_on(A_neg, P32, P32)
         return -rep.astype(np.float64) / max(k, 1)
 
     # ------------------------------------------------------------------ #

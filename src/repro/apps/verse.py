@@ -21,10 +21,10 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..core.specialized import sigmoid_embedding_kernel, spmm_kernel
 from ..errors import ShapeError
 from ..graphs.features import random_features
 from ..graphs.graph import Graph
+from ..runtime import KernelRuntime
 from ..sparse import CSRMatrix
 from .force2vec import EpochStats
 from .sampling import NegativeSampler, minibatch_indices
@@ -68,6 +68,16 @@ class Verse:
             graph.num_vertices, self.config.dim, seed=self.config.seed
         ).astype(np.float64)
         self._sampler = NegativeSampler(graph.num_vertices, seed=self.config.seed + 13)
+        # Plans for the similarity distribution are resolved once and
+        # streamed: minibatch row slices and sampled noise matrices run
+        # through the cached plans via ``run_on``.
+        self._runtime = KernelRuntime(
+            num_threads=self.config.num_threads, cache_size=4
+        )
+        self._sig_stream = self._runtime.epochs(
+            self.similarity, pattern="sigmoid_embedding"
+        )
+        self._agg_stream = self._runtime.epochs(self.similarity, pattern="gcn")
         self.history: List[EpochStats] = []
 
     def _batch_gradient(self, batch: np.ndarray) -> np.ndarray:
@@ -78,8 +88,8 @@ class Verse:
 
         # Positive part: pull towards similarity-weighted neighbours.
         S_batch = self.similarity.select_rows(batch)
-        sig_pos = sigmoid_embedding_kernel(S_batch, Xb, Y, num_threads=cfg.num_threads)
-        target_pos = spmm_kernel(S_batch, Y, num_threads=cfg.num_threads)
+        sig_pos = self._sig_stream.run_on(S_batch, Xb, Y)
+        target_pos = self._agg_stream.run_on(S_batch, None, Y)
         grad = sig_pos.astype(np.float64) - target_pos.astype(np.float64)
 
         # Noise part: push away from sampled noise vertices.
@@ -99,9 +109,7 @@ class Verse:
                 np.ones(negs.size, dtype=np.float32),
                 check=False,
             )
-            grad += sigmoid_embedding_kernel(
-                A_neg, Xb, Y, num_threads=cfg.num_threads
-            ).astype(np.float64)
+            grad += self._sig_stream.run_on(A_neg, Xb, Y).astype(np.float64)
         return grad
 
     def train_epoch(self, epoch: int = 0) -> EpochStats:

@@ -3,6 +3,11 @@ pytest-benchmark targets."""
 
 from .harness import compare_kernels, kernel_callables, make_operands
 from .report import ExperimentReport, comparison_block, load_results, save_results
+from .runtime_bench import (
+    bench_batch_packing,
+    bench_plan_cache,
+    run_throughput_benchmark,
+)
 from .sweep import DegreeSweepItem, degree_sweep_graphs, dimension_sweep
 from .tables import format_markdown_table, format_table, format_value
 
@@ -20,4 +25,7 @@ __all__ = [
     "format_table",
     "format_markdown_table",
     "format_value",
+    "bench_plan_cache",
+    "bench_batch_packing",
+    "run_throughput_benchmark",
 ]

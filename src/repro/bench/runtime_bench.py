@@ -1,0 +1,174 @@
+"""Throughput benchmarks for the batched kernel runtime.
+
+Two measurements, exposed to both ``repro bench runtime`` and the
+``benchmarks/bench_runtime_throughput.py`` script:
+
+* **plan-cache amortisation** — repeated calls on one fixed adjacency.
+  The cold path re-plans on every call (pattern resolution, partitioning,
+  autotuning — what a naive per-call user of :class:`repro.core.FusedMM`
+  pays each time); the warm path goes through
+  :meth:`~repro.runtime.KernelRuntime.run` and hits the plan cache after
+  the first call.
+
+* **batch packing** — many small same-pattern requests issued as
+  sequential :func:`~repro.core.fused.fusedmm` calls versus one
+  :meth:`~repro.runtime.KernelRuntime.run_batch`, which packs them into a
+  block-diagonal super-problem (results stay bitwise identical).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.autotune import clear_tuning_cache
+from ..core.fused import FusedMM, fusedmm
+from ..graphs import rmat
+from ..graphs.features import random_features
+from ..runtime import KernelRequest, KernelRuntime
+from ..sparse import random_csr
+
+__all__ = [
+    "bench_plan_cache",
+    "bench_batch_packing",
+    "run_throughput_benchmark",
+]
+
+
+def _mean_seconds(fn, repeats: int) -> float:
+    total = 0.0
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        total += time.perf_counter() - t0
+    return total / max(1, repeats)
+
+
+def bench_plan_cache(
+    *,
+    num_nodes: int = 10_000,
+    avg_degree: int = 8,
+    dim: int = 64,
+    repeats: int = 3,
+    pattern: str = "sigmoid_embedding",
+    num_threads: int = 1,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """Cold (re-planned, re-tuned every call) vs plan-cached repeated calls."""
+    A = rmat(num_nodes, num_nodes * avg_degree, seed=seed)
+    X = random_features(A.nrows, dim, seed=seed)
+
+    def cold_call() -> None:
+        # What every epoch pays without a runtime: resolution, partitioning
+        # and autotuning from scratch (the tuning cache is cleared so the
+        # measurement reflects a genuinely cold plan).
+        clear_tuning_cache()
+        kernel = FusedMM(
+            A, pattern=pattern, autotune=True, autotune_dim=dim,
+            num_threads=num_threads,
+        )
+        kernel(X)
+
+    cold_s = _mean_seconds(cold_call, repeats)
+
+    runtime = KernelRuntime(
+        num_threads=num_threads, autotune=True, autotune_dim=dim
+    )
+    runtime.run(A, X, pattern=pattern)  # first call builds + tunes the plan
+    warm_s = _mean_seconds(lambda: runtime.run(A, X, pattern=pattern), repeats)
+    stats = runtime.stats()
+    runtime.close()
+
+    return {
+        "benchmark": "plan_cache",
+        "graph": f"rmat n={num_nodes}",
+        "nnz": A.nnz,
+        "d": dim,
+        "pattern": pattern,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / max(warm_s, 1e-12),
+        "cache_hits": stats["plan_cache"]["hits"],
+    }
+
+
+def bench_batch_packing(
+    *,
+    num_requests: int = 32,
+    nodes: int = 96,
+    density: float = 0.04,
+    dim: int = 16,
+    repeats: int = 3,
+    pattern: str = "sigmoid_embedding",
+    num_threads: Optional[int] = None,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """Sequential ``fusedmm`` calls vs one packed ``run_batch``."""
+    problems = []
+    for i in range(num_requests):
+        A = random_csr(nodes, nodes, density=density, seed=seed + i)
+        X = random_features(nodes, dim, seed=seed + i)
+        problems.append((A, X))
+
+    def sequential() -> List[np.ndarray]:
+        return [
+            fusedmm(A, X, pattern=pattern, num_threads=1) for A, X in problems
+        ]
+
+    seq_s = _mean_seconds(sequential, repeats)
+
+    runtime = KernelRuntime(num_threads=num_threads)
+    requests = [KernelRequest(A, X, pattern=pattern) for A, X in problems]
+    # Include one cold batch (plans built) in the reported first-call time,
+    # then measure the steady state the serving loop actually sees.
+    t0 = time.perf_counter()
+    runtime.run_batch(requests)
+    batch_cold_s = time.perf_counter() - t0
+    batch_s = _mean_seconds(lambda: runtime.run_batch(requests), repeats)
+    stats = runtime.stats()
+    runtime.close()
+
+    return {
+        "benchmark": "batch_packing",
+        "graph": f"{num_requests}×({nodes}², {density})",
+        "nnz": sum(A.nnz for A, _ in problems),
+        "d": dim,
+        "pattern": pattern,
+        "sequential_s": seq_s,
+        "batch_cold_s": batch_cold_s,
+        "batch_s": batch_s,
+        "speedup": seq_s / max(batch_s, 1e-12),
+        "packed_requests": stats["packed_requests"],
+    }
+
+
+def run_throughput_benchmark(
+    *,
+    quick: bool = False,
+    num_threads: int = 1,
+    dims=(64,),
+) -> List[Dict[str, object]]:
+    """The full runtime benchmark grid (scaled down under ``--quick``)."""
+    nodes = 2_000 if quick else 10_000
+    repeats = 2 if quick else 3
+    num_requests = 8 if quick else 32
+    rows: List[Dict[str, object]] = []
+    for d in dims:
+        rows.append(
+            bench_plan_cache(
+                num_nodes=nodes,
+                dim=int(d),
+                repeats=repeats,
+                num_threads=num_threads,
+            )
+        )
+    rows.append(
+        bench_batch_packing(
+            num_requests=num_requests,
+            repeats=repeats,
+            num_threads=num_threads,
+        )
+    )
+    return rows

@@ -7,6 +7,8 @@ Sub-commands
 ``experiments``   list the registered paper experiments
 ``run``           run one experiment and print its tables
 ``kernel``        time one kernel comparison on one graph/dimension
+``bench``         system benchmarks (``bench runtime``: plan-cache and
+                  batch-packing throughput of the kernel runtime)
 ``report``        regenerate EXPERIMENTS.md style results (all experiments,
                   scaled down) and write them to a Markdown file
 
@@ -101,6 +103,30 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_runtime(args: argparse.Namespace) -> int:
+    from .bench.runtime_bench import bench_batch_packing, bench_plan_cache
+
+    rows = [
+        bench_plan_cache(
+            num_nodes=args.nodes,
+            avg_degree=args.avg_degree,
+            dim=d,
+            repeats=args.repeats,
+            num_threads=args.threads,
+        )
+        for d in args.dims
+    ]
+    rows.append(
+        bench_batch_packing(
+            num_requests=args.batch,
+            repeats=args.repeats,
+            num_threads=args.threads or None,
+        )
+    )
+    print(format_table(rows, title="Kernel-runtime throughput (plan cache + batching)"))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.run_all import generate_report
 
@@ -141,6 +167,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_kernel.add_argument("--threads", type=int, default=1)
     p_kernel.add_argument("--no-generic", action="store_true")
     p_kernel.set_defaults(func=_cmd_kernel)
+
+    p_bench = sub.add_parser("bench", help="system benchmarks")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bench_rt = bench_sub.add_parser(
+        "runtime", help="plan-cache + batch-packing throughput of KernelRuntime"
+    )
+    p_bench_rt.add_argument("--nodes", type=int, default=10_000)
+    p_bench_rt.add_argument("--avg-degree", type=int, default=8)
+    p_bench_rt.add_argument("--dims", type=int, nargs="+", default=[64])
+    p_bench_rt.add_argument("--batch", type=int, default=32)
+    p_bench_rt.add_argument("--repeats", type=int, default=3)
+    p_bench_rt.add_argument("--threads", type=int, default=1)
+    p_bench_rt.set_defaults(func=_cmd_bench_runtime)
 
     p_report = sub.add_parser("report", help="regenerate the experiments report")
     p_report.add_argument("--output", default="EXPERIMENTS_GENERATED.md")

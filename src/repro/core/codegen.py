@@ -141,7 +141,9 @@ def _generated_block_kernel(indptr, indices, data, edge_rows, X, Y, z_slice,
     """
     e0 = edge_lo
     while e0 < edge_hi:
-        e1 = min(e0 + block_size, edge_hi)
+        # Blocks align to the absolute edge grid so any row partitioning
+        # chunks a row's edges identically (thread-count determinism).
+        e1 = min((e0 // block_size + 1) * block_size, edge_hi)
         src = edge_rows[e0:e1]
         dst = indices[e0:e1]
         vals = data[e0:e1]
@@ -262,6 +264,8 @@ def compile_kernel(pattern: ResolvedPattern) -> Callable:
         block_size: int = DEFAULT_BLOCK_SIZE,
         num_threads: int = 1,
         parts_per_thread: int = 1,
+        parts=None,
+        pool=None,
     ) -> np.ndarray:
         from .validation import validate_operands
 
@@ -291,7 +295,8 @@ def compile_kernel(pattern: ResolvedPattern) -> Callable:
             )
 
         run_partitioned(
-            A_csr, Z, run, config=ParallelConfig(num_threads, parts_per_thread)
+            A_csr, Z, run, config=ParallelConfig(num_threads, parts_per_thread),
+            parts=parts, pool=pool,
         )
         if aop_name != "ASUM":
             empty = A_csr.row_degrees() == 0

@@ -33,7 +33,8 @@ against the reference kernel of :mod:`repro.core.generic`.
 
 from __future__ import annotations
 
-from typing import Optional
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -102,6 +103,8 @@ def fusedmm_rowblocked(
     pattern: OpPattern | str = "sigmoid_embedding",
     num_threads: int = 1,
     parts_per_thread: int = 1,
+    parts: Optional[Sequence[RowPartition]] = None,
+    pool: Optional[ThreadPoolExecutor] = None,
     **pattern_overrides,
 ) -> np.ndarray:
     """FusedMM with per-row vectorization (register-blocking analogue)."""
@@ -131,7 +134,8 @@ def fusedmm_rowblocked(
             _accumulate_rowwise(resolved.aop, row, np.atleast_1d(M))
 
     run_partitioned(
-        A, Z, kernel, config=ParallelConfig(num_threads, parts_per_thread)
+        A, Z, kernel, config=ParallelConfig(num_threads, parts_per_thread),
+        parts=parts, pool=pool,
     )
     return Z.astype(X.dtype)
 
@@ -140,10 +144,18 @@ def fusedmm_rowblocked(
 # Edge-blocked kernel
 # ---------------------------------------------------------------------- #
 def _edge_block_ranges(lo: int, hi: int, block_size: int):
-    """Yield ``[start, stop)`` edge ranges of at most ``block_size`` edges."""
+    """Yield ``[start, stop)`` edge ranges of at most ``block_size`` edges.
+
+    Block boundaries are aligned to the *absolute* edge grid (multiples of
+    ``block_size``), not to ``lo``: a row's edges are therefore chunked
+    identically no matter which partition it lands in, which is what makes
+    the partition-parallel results bitwise identical across thread counts
+    (the invariant promised in :mod:`repro.core.parallel`).  For ``lo == 0``
+    this is the plain fixed-size chunking.
+    """
     start = lo
     while start < hi:
-        stop = min(start + block_size, hi)
+        stop = min((start // block_size + 1) * block_size, hi)
         yield start, stop
         start = stop
 
@@ -157,6 +169,8 @@ def fusedmm_edgeblocked(
     block_size: int = DEFAULT_BLOCK_SIZE,
     num_threads: int = 1,
     parts_per_thread: int = 1,
+    parts: Optional[Sequence[RowPartition]] = None,
+    pool: Optional[ThreadPoolExecutor] = None,
     **pattern_overrides,
 ) -> np.ndarray:
     """FusedMM processing edges in fixed-size blocks with segment reduction.
@@ -204,7 +218,8 @@ def fusedmm_edgeblocked(
                 z_slice[seg_rows] = aop_ufunc(z_slice[seg_rows], seg)
 
     run_partitioned(
-        A, Z, kernel, config=ParallelConfig(num_threads, parts_per_thread)
+        A, Z, kernel, config=ParallelConfig(num_threads, parts_per_thread),
+        parts=parts, pool=pool,
     )
     if not use_sum:
         # Rows that never received a message hold the accumulator identity
@@ -228,6 +243,8 @@ def fusedmm_optimized(
     block_size: Optional[int] = None,
     num_threads: int = 1,
     parts_per_thread: int = 1,
+    parts: Optional[Sequence[RowPartition]] = None,
+    pool: Optional[ThreadPoolExecutor] = None,
     **pattern_overrides,
 ) -> np.ndarray:
     """Vectorized FusedMM choosing between the row-blocked and edge-blocked
@@ -257,6 +274,8 @@ def fusedmm_optimized(
             pattern=pattern,
             num_threads=num_threads,
             parts_per_thread=parts_per_thread,
+            parts=parts,
+            pool=pool,
             **pattern_overrides,
         )
     return fusedmm_edgeblocked(
@@ -267,5 +286,7 @@ def fusedmm_optimized(
         block_size=block_size or DEFAULT_BLOCK_SIZE,
         num_threads=num_threads,
         parts_per_thread=parts_per_thread,
+        parts=parts,
+        pool=pool,
         **pattern_overrides,
     )

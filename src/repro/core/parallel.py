@@ -76,6 +76,7 @@ def run_partitioned(
     *,
     config: ParallelConfig | None = None,
     parts: Sequence[RowPartition] | None = None,
+    pool: Optional[ThreadPoolExecutor] = None,
 ) -> np.ndarray:
     """Run ``kernel(part, Z[part.start:part.stop])`` over nnz-balanced row
     partitions, in parallel when more than one thread is configured.
@@ -83,19 +84,30 @@ def run_partitioned(
     The kernel must write its results into the ``Z`` slice it is handed and
     must not touch rows outside its partition; this is what makes the
     parallel execution race-free.
+
+    When ``pool`` is given (a long-lived executor owned by the caller, e.g.
+    the batched kernel runtime), partitions are dispatched onto it instead
+    of a per-call executor, and the pool is *not* shut down afterwards.
+    Partitioning — and therefore the arithmetic — is identical either way.
     """
     config = config or ParallelConfig(num_threads=1)
     if parts is None:
         parts = part1d(A, config.num_parts)
     work = [p for p in parts if p.num_rows > 0]
 
-    if config.num_threads <= 1 or len(work) <= 1:
+    if (config.num_threads <= 1 and pool is None) or len(work) <= 1:
         for p in work:
             kernel(p, Z[p.start : p.stop])
         return Z
 
-    with ThreadPoolExecutor(max_workers=config.num_threads) as pool:
+    if pool is not None:
         futures = [pool.submit(kernel, p, Z[p.start : p.stop]) for p in work]
+        for fut in futures:
+            fut.result()  # propagate exceptions
+        return Z
+
+    with ThreadPoolExecutor(max_workers=config.num_threads) as pool_:
+        futures = [pool_.submit(kernel, p, Z[p.start : p.stop]) for p in work]
         for fut in futures:
             fut.result()  # propagate exceptions
     return Z

@@ -24,7 +24,8 @@ the SpMM specialisation used in the MKL comparison):
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -56,6 +57,8 @@ def sigmoid_embedding_kernel(
     block_size: int = DEFAULT_BLOCK_SIZE,
     num_threads: int = 1,
     parts_per_thread: int = 1,
+    parts: Optional[Sequence[RowPartition]] = None,
+    pool: Optional[ThreadPoolExecutor] = None,
 ) -> np.ndarray:
     """Fused sigmoid-embedding kernel: ``z_u = Σ_v σ(x_uᵀ y_v) y_v``.
 
@@ -86,7 +89,10 @@ def sigmoid_embedding_kernel(
             seg_rows = src[starts] - part.start
             z_slice[seg_rows] += np.add.reduceat(contrib, starts, axis=0)
 
-    run_partitioned(A, Z, kernel, config=ParallelConfig(num_threads, parts_per_thread))
+    run_partitioned(
+        A, Z, kernel, config=ParallelConfig(num_threads, parts_per_thread),
+        parts=parts, pool=pool,
+    )
     return Z.astype(X.dtype)
 
 
@@ -98,6 +104,8 @@ def fr_layout_kernel(
     block_size: int = DEFAULT_BLOCK_SIZE,
     num_threads: int = 1,
     parts_per_thread: int = 1,
+    parts: Optional[Sequence[RowPartition]] = None,
+    pool: Optional[ThreadPoolExecutor] = None,
 ) -> np.ndarray:
     """Fused force-directed-layout kernel (attractive forces):
     ``z_u = Σ_v 1/(1+‖x_u−y_v‖²) · (x_u−y_v)``.
@@ -127,7 +135,10 @@ def fr_layout_kernel(
             seg_rows = src[starts] - part.start
             z_slice[seg_rows] += np.add.reduceat(contrib, starts, axis=0)
 
-    run_partitioned(A, Z, kernel, config=ParallelConfig(num_threads, parts_per_thread))
+    run_partitioned(
+        A, Z, kernel, config=ParallelConfig(num_threads, parts_per_thread),
+        parts=parts, pool=pool,
+    )
     return Z.astype(X.dtype)
 
 
@@ -138,6 +149,8 @@ def spmm_kernel(
     block_size: int = DEFAULT_BLOCK_SIZE,
     num_threads: int = 1,
     parts_per_thread: int = 1,
+    parts: Optional[Sequence[RowPartition]] = None,
+    pool: Optional[ThreadPoolExecutor] = None,
 ) -> np.ndarray:
     """SpMM specialisation of FusedMM: ``Z = A · Y``.
 
@@ -170,7 +183,10 @@ def spmm_kernel(
             seg_rows = src[starts] - part.start
             z_slice[seg_rows] += np.add.reduceat(contrib, starts, axis=0)
 
-    run_partitioned(A, Z, kernel, config=ParallelConfig(num_threads, parts_per_thread))
+    run_partitioned(
+        A, Z, kernel, config=ParallelConfig(num_threads, parts_per_thread),
+        parts=parts, pool=pool,
+    )
     return Z.astype(Y.dtype if np.issubdtype(Y.dtype, np.floating) else np.float32)
 
 
@@ -182,6 +198,8 @@ def gcn_kernel(
     block_size: int = DEFAULT_BLOCK_SIZE,
     num_threads: int = 1,
     parts_per_thread: int = 1,
+    parts: Optional[Sequence[RowPartition]] = None,
+    pool: Optional[ThreadPoolExecutor] = None,
 ) -> np.ndarray:
     """GCN aggregation specialisation — identical math to :func:`spmm_kernel`
     but with the standard (A, X, Y) FusedMM signature so the dispatcher can
@@ -193,6 +211,8 @@ def gcn_kernel(
         block_size=block_size,
         num_threads=num_threads,
         parts_per_thread=parts_per_thread,
+        parts=parts,
+        pool=pool,
     ).astype(X_arr.dtype)
 
 

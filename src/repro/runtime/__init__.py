@@ -1,0 +1,48 @@
+"""Batched kernel runtime: plan caching, request batching, epoch streams.
+
+This package is the serving/scheduling layer above :mod:`repro.core`:
+
+``fingerprint``  content hashes of sparse matrices (plan-cache keys)
+``cache``        bounded LRU of execution plans with hit/miss accounting
+``plan``         matrix-bound execution plans (resolution + tuning + parts)
+``batch``        request packing (block-diagonal) and scheduling metadata
+``runtime``      :class:`KernelRuntime` — run / submit / run_batch / epochs
+
+Typical usage::
+
+    from repro.runtime import KernelRuntime, KernelRequest
+
+    rt = KernelRuntime(num_threads=4, cache_size=32)
+    Z = rt.run(A, X, pattern="sigmoid_embedding")      # planned + cached
+    outs = rt.run_batch([KernelRequest(A_i, X_i) for ...])
+    stream = rt.epochs(A, pattern="gcn")
+    for epoch in range(50):
+        H = stream.step(H)
+"""
+
+from .batch import KernelRequest, PackedBatch, pack_requests
+from .cache import CacheStats, PlanCache
+from .fingerprint import (
+    clear_fingerprint_memo,
+    fingerprint_memo_info,
+    matrix_fingerprint,
+)
+from .plan import KernelPlan, PlanKey, build_plan, pattern_key
+from .runtime import EpochStream, KernelRuntime
+
+__all__ = [
+    "KernelRuntime",
+    "EpochStream",
+    "KernelRequest",
+    "KernelPlan",
+    "PlanKey",
+    "PlanCache",
+    "CacheStats",
+    "PackedBatch",
+    "pack_requests",
+    "pattern_key",
+    "build_plan",
+    "matrix_fingerprint",
+    "fingerprint_memo_info",
+    "clear_fingerprint_memo",
+]

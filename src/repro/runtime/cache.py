@@ -1,0 +1,118 @@
+"""LRU cache of FusedMM execution plans.
+
+One entry per ``(matrix fingerprint, pattern, backend, num_threads,
+block_size, strategy, autotune)`` combination — the full key under which a
+plan's resolution, partitioning and tuning decisions are valid.  Repeated
+calls on the same adjacency (the every-epoch training-loop case) hit the
+cache and skip straight to kernel execution.
+
+The cache is bounded and evicts least-recently-used plans; hit/miss/
+eviction counts are tracked so tests and dashboards can observe cache
+effectiveness.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, Optional, Tuple
+
+__all__ = ["CacheStats", "PlanCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time accounting of a :class:`PlanCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for reports and logs."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class PlanCache:
+    """Thread-safe LRU mapping of plan keys to execution plans."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: Hashable):
+        """Return the cached plan for ``key`` (marking it most-recently
+        used) or ``None`` on a miss."""
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return plan
+
+    def put(self, key: Hashable, plan) -> None:
+        """Insert a plan, evicting the least-recently-used entry if full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = plan
+                return
+            if len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._entries[key] = plan
+
+    def clear(self) -> None:
+        """Drop every cached plan (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        """Snapshot of the cached keys, LRU-first."""
+        with self._lock:
+            return tuple(self._entries.keys())
+
+    def stats(self) -> CacheStats:
+        """Current hit/miss/eviction accounting."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

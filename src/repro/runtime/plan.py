@@ -1,0 +1,350 @@
+"""Execution plans: the unit the batched kernel runtime caches.
+
+A :class:`KernelPlan` is everything about a FusedMM call that does *not*
+depend on the feature matrices:
+
+* the resolved operator pattern (Table III row or user overrides),
+* the chosen backend kind and concrete kernel callable (the same
+  specialized → generated → optimized → generic resolution order as
+  :func:`repro.core.fused.fusedmm`),
+* the effective blocking strategy and edge-block size (autotuned once when
+  requested),
+* the nnz-balanced row partitioning of the bound adjacency.
+
+Plans are built once per ``(matrix fingerprint, pattern, backend,
+num_threads, block_size, strategy, autotune)`` key and then executed many
+times — every epoch of a training loop, every request of a batch — via
+:meth:`KernelPlan.execute`, which accepts an explicit partition list and a
+shared thread pool so the runtime controls scheduling.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.autotune import TuningResult, autotune
+from ..core.codegen import compile_kernel, supports_pattern
+from ..core.fused import BACKENDS
+from ..core.generic import fusedmm_generic
+from ..core.optimized import DEFAULT_BLOCK_SIZE, fusedmm_optimized
+from ..core.partition import RowPartition, part1d
+from ..core.patterns import OpPattern, ResolvedPattern, get_pattern
+from ..core.specialized import get_specialized_kernel, spmm_kernel
+from ..errors import BackendError
+from ..sparse import CSRMatrix
+
+__all__ = [
+    "KernelPlan",
+    "PlanKey",
+    "pattern_key",
+    "build_plan",
+    "make_config",
+    "effective_strategy",
+]
+
+
+def pattern_key(resolved: ResolvedPattern) -> Tuple[Tuple[str, str], ...]:
+    """Hashable identity of a resolved pattern (its five operator names)."""
+    return tuple(sorted(resolved.op_names().items()))
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Full cache key of an execution plan."""
+
+    fingerprint: str
+    pattern: Tuple[Tuple[str, str], ...]
+    backend: str
+    num_threads: int
+    block_size: int  # 0 = backend default / autotuned
+    strategy: str
+    autotune: bool
+
+
+@dataclass
+class KernelPlan:
+    """A reusable, matrix-bound FusedMM execution plan."""
+
+    key: PlanKey
+    op_pattern: OpPattern
+    resolved: ResolvedPattern
+    #: "specialized" | "generated" | "optimized" | "generic"
+    kind: str
+    #: requested backend ("auto" keeps the generic fallback of fusedmm())
+    backend: str
+    block_size: int
+    strategy: str
+    num_threads: int
+    nnz: int
+    shape: Tuple[int, int]
+    #: nnz-balanced partitions used when the runtime splits this job
+    partitions: Sequence[RowPartition] = field(default_factory=list)
+    #: number of split tasks the runtime schedules for this job
+    nsplit: int = 1
+    tuning: Optional[TuningResult] = None
+    #: concrete kernel callable for specialized/generated kinds
+    kernel: Optional[Callable] = None
+    #: times this plan has been executed
+    calls: int = 0
+    _calls_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def supports_parts(self) -> bool:
+        """Whether the plan's kernel accepts an explicit partition list
+        (everything except the pure-Python reference backend does)."""
+        return self.kind != "generic"
+
+    @property
+    def is_spmm_like(self) -> bool:
+        """Whether the pattern ignores X (pure A·Y aggregation)."""
+        return self.resolved.is_spmm_like
+
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        A,
+        X,
+        Y=None,
+        *,
+        parts: Optional[Sequence[RowPartition]] = None,
+        pool: Optional[ThreadPoolExecutor] = None,
+        num_threads: Optional[int] = None,
+        block_size: Optional[int] = None,
+        strategy: Optional[str] = None,
+    ) -> np.ndarray:
+        """Run the planned kernel on (possibly new) operands.
+
+        ``A`` is usually the matrix the plan was built for (or another
+        instance with identical content); minibatch row slices and sampled
+        negative matrices may also be passed — the resolution and dispatch
+        decisions still apply, only the partitioning is recomputed by the
+        kernel when ``parts`` is not given.
+        """
+        nt = self.num_threads if num_threads is None else num_threads
+        bs = self.block_size if block_size is None else block_size
+        with self._calls_lock:
+            self.calls += 1
+
+        if self.kind == "generic":
+            return fusedmm_generic(A, X, Y, pattern=self.op_pattern)
+
+        if self.kind in ("specialized", "generated"):
+            if X is None:
+                if not self.is_spmm_like:
+                    raise BackendError(
+                        f"pattern {self.resolved.name!r} needs source features X"
+                    )
+                return spmm_kernel(
+                    A,
+                    Y,
+                    block_size=bs,
+                    num_threads=nt,
+                    parts=parts,
+                    pool=pool,
+                )
+            return self.kernel(
+                A,
+                X,
+                Y,
+                block_size=bs,
+                num_threads=nt,
+                parts=parts,
+                pool=pool,
+            )
+
+        # optimized (with the same last-resort fallback as fusedmm())
+        try:
+            return fusedmm_optimized(
+                A,
+                X,
+                Y,
+                pattern=self.op_pattern,
+                strategy=self.strategy if strategy is None else strategy,
+                block_size=bs,
+                num_threads=nt,
+                parts=parts,
+                pool=pool,
+            )
+        except Exception:
+            if self.backend == "optimized":
+                raise
+            return fusedmm_generic(A, X, Y, pattern=self.op_pattern)
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> Dict[str, object]:
+        """Human-readable plan summary (for logs, reports and tests)."""
+        info = {
+            "pattern": self.resolved.name,
+            "ops": self.resolved.op_names(),
+            "backend": self.backend,
+            "kind": self.kind,
+            "strategy": self.strategy,
+            "block_size": self.block_size,
+            "num_threads": self.num_threads,
+            "nsplit": self.nsplit,
+            "partitions": len(self.partitions),
+            "nnz": self.nnz,
+            "shape": self.shape,
+            "calls": self.calls,
+            "fingerprint": self.key.fingerprint,
+        }
+        if self.tuning is not None:
+            info["tuning"] = self.tuning.as_dict()
+        return info
+
+
+# ---------------------------------------------------------------------- #
+def make_config(
+    op_pattern: OpPattern,
+    resolved: ResolvedPattern,
+    *,
+    backend: str = "auto",
+    block_size: Optional[int] = None,
+    strategy: str = "auto",
+    num_threads: int = 1,
+) -> KernelPlan:
+    """A matrix-independent dispatch config (a plan without a matrix).
+
+    Used by :meth:`KernelRuntime.run_batch` for small one-shot requests:
+    resolution and backend dispatch are still amortised (the config is
+    cached per pattern/backend/blocking tuple), but no fingerprint is
+    computed and the plan LRU is not churned by throwaway matrices.
+    """
+    if backend not in BACKENDS:
+        raise BackendError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    kind, kernel = _resolve_kind(resolved, backend)
+    key = PlanKey(
+        fingerprint="",
+        pattern=pattern_key(resolved),
+        backend=backend,
+        num_threads=num_threads,
+        block_size=block_size or 0,
+        strategy=strategy,
+        autotune=False,
+    )
+    return KernelPlan(
+        key=key,
+        op_pattern=op_pattern,
+        resolved=resolved,
+        kind=kind,
+        backend=backend,
+        block_size=block_size or DEFAULT_BLOCK_SIZE,
+        strategy=strategy,
+        num_threads=num_threads,
+        nnz=0,
+        shape=(0, 0),
+        partitions=[],
+        nsplit=1,
+        kernel=kernel,
+    )
+
+
+def _auto_strategy(A) -> str:
+    """The data-dependent row/edge choice of ``fusedmm_optimized('auto')``."""
+    return "row" if A.avg_degree() >= 32 else "edge"
+
+
+def effective_strategy(plan: KernelPlan, A) -> str:
+    """The blocking strategy a standalone call on ``A`` would pick."""
+    if plan.kind == "optimized" and plan.strategy == "auto":
+        return _auto_strategy(A)
+    return plan.strategy
+
+
+def _resolve_kind(resolved: ResolvedPattern, backend: str):
+    """Mirror the fusedmm() backend resolution order; returns (kind, kernel)."""
+    if backend == "generic":
+        return "generic", None
+    if backend in ("specialized", "auto"):
+        kernel = get_specialized_kernel(resolved)
+        if kernel is not None:
+            return "specialized", kernel
+        if backend == "specialized":
+            raise BackendError(
+                f"no specialized kernel exists for pattern {resolved.name!r}; "
+                "use backend='optimized' or 'auto'"
+            )
+    if backend in ("generated", "auto"):
+        if supports_pattern(resolved):
+            return "generated", compile_kernel(resolved)
+        if backend == "generated":
+            raise BackendError(
+                f"the code generator has no templates for pattern {resolved.name!r} "
+                f"(ops {resolved.op_names()}); use backend='optimized' or 'auto'"
+            )
+    return "optimized", None
+
+
+def build_plan(
+    A: CSRMatrix,
+    key: PlanKey,
+    op_pattern: OpPattern,
+    resolved: ResolvedPattern,
+    *,
+    split_nnz: int,
+    max_split: int,
+    autotune_dim: int = 128,
+) -> KernelPlan:
+    """Construct (and, when requested, autotune) a plan for ``A``.
+
+    ``split_nnz``/``max_split`` define the runtime's nnz-aware split policy:
+    the number of partitions depends only on the matrix, never on how many
+    worker threads happen to be available, so results are bitwise identical
+    across thread counts.
+    """
+    if key.backend not in BACKENDS:
+        raise BackendError(
+            f"unknown backend {key.backend!r}; expected one of {BACKENDS}"
+        )
+    kind, kernel = _resolve_kind(resolved, key.backend)
+
+    block_size = key.block_size or DEFAULT_BLOCK_SIZE
+    strategy = key.strategy
+    if kind == "optimized" and strategy == "auto":
+        # Resolve the data-dependent choice once so packed/split executions
+        # replay the exact same kernel as a standalone call would.
+        strategy = _auto_strategy(A)
+
+    tuning: Optional[TuningResult] = None
+    if key.autotune and kind != "generic":
+        rng = np.random.default_rng(0)
+        d = autotune_dim
+        X = rng.standard_normal((A.nrows, d)).astype(np.float32)
+        Y = (
+            X
+            if A.nrows == A.ncols
+            else rng.standard_normal((A.ncols, d)).astype(np.float32)
+        )
+        tuning = autotune(A, X, Y, pattern=op_pattern, num_threads=key.num_threads)
+        strategy = tuning.strategy
+        if key.block_size == 0:
+            block_size = tuning.block_size
+
+    nsplit = max(1, min(max_split, math.ceil(A.nnz / max(split_nnz, 1))))
+    partitions = part1d(A, nsplit)
+
+    return KernelPlan(
+        key=key,
+        op_pattern=op_pattern,
+        resolved=resolved,
+        kind=kind,
+        backend=key.backend,
+        block_size=block_size,
+        strategy=strategy,
+        num_threads=key.num_threads,
+        nnz=A.nnz,
+        shape=A.shape,
+        partitions=partitions,
+        nsplit=nsplit,
+        tuning=tuning,
+        kernel=kernel,
+    )

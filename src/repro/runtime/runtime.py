@@ -1,0 +1,569 @@
+"""The batched FusedMM kernel runtime.
+
+:class:`KernelRuntime` is the serving layer the apps and benchmarks sit
+on.  It owns
+
+* an LRU **plan cache** (:mod:`repro.runtime.cache`) keyed by matrix
+  fingerprint + kernel configuration, so repeated calls on the same
+  adjacency skip pattern resolution, backend dispatch, partitioning and
+  autotuning entirely;
+* a shared **thread pool** reused across calls (the per-call executor of
+  :func:`repro.core.parallel.run_partitioned` is bypassed);
+* an **nnz-aware scheduler** (:meth:`run_batch`): large jobs are split
+  over their plan's 1-D partitions and fanned out, small compatible jobs
+  are packed into one block-diagonal kernel invocation
+  (:mod:`repro.runtime.batch`);
+* a **streaming epoch API** (:meth:`epochs`) that training loops bind once
+  per adjacency and then drive with new feature matrices every epoch or
+  minibatch.
+
+Determinism
+-----------
+Scheduling decisions (split counts, partition boundaries, packing) depend
+only on the requests themselves — never on how many worker threads the
+runtime happens to own — so results are bitwise identical across thread
+counts, extending the invariant documented in :mod:`repro.core.parallel`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.parallel import available_threads
+from ..core.partition import RowPartition, part1d
+from ..core.patterns import OpPattern, get_pattern
+from ..sparse import as_csr
+from .batch import KernelRequest, pack_group_key, pack_requests
+from .cache import CacheStats, PlanCache
+from .fingerprint import matrix_fingerprint
+from .plan import (
+    KernelPlan,
+    PlanKey,
+    build_plan,
+    effective_strategy,
+    make_config,
+    pattern_key,
+)
+
+__all__ = ["KernelRuntime", "EpochStream"]
+
+#: Requests at or below this nnz are candidates for packing.
+DEFAULT_PACK_NNZ = 4096
+#: Packing eligibility bound on the per-request dense operand footprint
+#: ``(nrows + ncols) * d``.  Packing amortises per-call dispatch overhead,
+#: but enlarges the gather working set (the packed X/Y concatenate all
+#: requests); beyond roughly this many feature elements per request the
+#: locality loss cancels the dispatch savings (measured empirically on the
+#: kernels in this repo), so bigger requests run as singles instead.
+DEFAULT_PACK_DENSE_ELEMS = 6144
+#: Jobs above this nnz are split into multiple partition tasks.  One part
+#: is roughly two default edge blocks of work — big enough that pool
+#: dispatch overhead stays negligible, small enough that mid-sized graphs
+#: (tens of thousands of edges) still parallelise.  Below the threshold
+#: jobs run sequentially on purpose: for NumPy kernels that small, thread
+#: fan-out costs more than it saves.
+DEFAULT_SPLIT_NNZ = 16384
+#: Upper bound on split tasks per job (keeps partitioning deterministic
+#: and bounded regardless of pool width).
+DEFAULT_MAX_SPLIT = 8
+
+
+def _req_dim(req: KernelRequest) -> int:
+    """Feature dimension of a (normalised) request."""
+    if req.X is not None:
+        return req.X.shape[1]
+    if req.Y is not None:
+        return req.Y.shape[1]
+    return 0
+
+
+class EpochStream:
+    """A per-adjacency handle for epoch-style training loops.
+
+    Created by :meth:`KernelRuntime.epochs`; holds one cached plan and
+    replays it with fresh operands:
+
+    * :meth:`step` — the full-graph call of one epoch/iteration,
+    * :meth:`run_on` — the same planned kernel on a derived matrix (a
+      minibatch row slice, a sampled negative adjacency) without touching
+      the plan cache.
+    """
+
+    def __init__(self, runtime: "KernelRuntime", A, plan: KernelPlan) -> None:
+        self._runtime = runtime
+        self.A = A
+        self.plan = plan
+        self.epochs_run = 0
+        self.kernel_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    def step(self, X=None, Y=None) -> np.ndarray:
+        """Execute one full-adjacency epoch call with the cached plan."""
+        t0 = time.perf_counter()
+        Z = self._runtime._execute_plan(self.plan, self.A, X, Y)
+        self.kernel_seconds += time.perf_counter() - t0
+        self.epochs_run += 1
+        return Z
+
+    __call__ = step
+
+    def run_on(self, A_sub, X=None, Y=None) -> np.ndarray:
+        """Execute the planned kernel on a derived matrix (minibatch slice,
+        sampled negatives, …) — resolution and dispatch are reused, the
+        partitioning is recomputed for the new matrix with the runtime's
+        nnz-aware split policy (large slices fan out on the shared pool,
+        small ones run sequentially)."""
+        t0 = time.perf_counter()
+        Z = self._runtime._execute_plan_on(self.plan, as_csr(A_sub), X, Y)
+        self.kernel_seconds += time.perf_counter() - t0
+        return Z
+
+    def describe(self) -> Dict[str, object]:
+        """Plan summary plus stream-level counters."""
+        info = self.plan.describe()
+        info["epochs_run"] = self.epochs_run
+        info["kernel_seconds"] = round(self.kernel_seconds, 6)
+        return info
+
+
+class KernelRuntime:
+    """Batched, plan-caching FusedMM execution engine.
+
+    Parameters
+    ----------
+    num_threads:
+        Worker threads of the shared pool; ``None``/0 means all available,
+        1 disables the pool (fully sequential, still deterministic).
+    cache_size:
+        Capacity of the plan LRU.
+    autotune:
+        Default autotuning policy for new plans (overridable per call).
+    pack_nnz, split_nnz, max_split:
+        nnz-aware scheduling thresholds; see :mod:`repro.runtime.batch`.
+
+    Example
+    -------
+    >>> from repro.runtime import KernelRuntime
+    >>> from repro.sparse import random_csr
+    >>> from repro.graphs import random_features
+    >>> rt = KernelRuntime(num_threads=1)
+    >>> A = random_csr(100, 100, density=0.05, seed=0)
+    >>> X = random_features(100, 8, seed=0)
+    >>> Z = rt.run(A, X, pattern="sigmoid_embedding")   # plans + executes
+    >>> Z2 = rt.run(A, X, pattern="sigmoid_embedding")  # cache hit
+    >>> rt.stats()["plan_cache"]["hits"]
+    1
+    """
+
+    def __init__(
+        self,
+        num_threads: Optional[int] = None,
+        *,
+        cache_size: int = 64,
+        autotune: bool = False,
+        autotune_dim: int = 128,
+        pack_small: bool = True,
+        pack_nnz: int = DEFAULT_PACK_NNZ,
+        pack_dense_elems: int = DEFAULT_PACK_DENSE_ELEMS,
+        split_nnz: int = DEFAULT_SPLIT_NNZ,
+        max_split: int = DEFAULT_MAX_SPLIT,
+    ) -> None:
+        self.num_threads = num_threads or available_threads()
+        self.autotune = autotune
+        self.autotune_dim = autotune_dim
+        self.pack_small = pack_small
+        self.pack_nnz = pack_nnz
+        self.pack_dense_elems = pack_dense_elems
+        self.split_nnz = split_nnz
+        self.max_split = max_split
+        self._cache = PlanCache(cache_size)
+        # Matrix-independent dispatch configs for one-shot batch requests
+        # (unbounded is fine: one entry per pattern/backend/blocking tuple).
+        self._configs: Dict[tuple, KernelPlan] = {}
+        self._configs_lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "requests": 0,
+            "batches": 0,
+            "packed_requests": 0,
+            "packed_groups": 0,
+            "split_jobs": 0,
+            "single_jobs": 0,
+            "submitted": 0,
+        }
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Pool management
+    # ------------------------------------------------------------------ #
+    @property
+    def pool(self) -> Optional[ThreadPoolExecutor]:
+        """The shared executor (created lazily; ``None`` when sequential)."""
+        if self.num_threads <= 1:
+            return None
+        with self._pool_lock:
+            if self._pool is None and not self._closed:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.num_threads,
+                    thread_name_prefix="repro-runtime",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the shared pool; the runtime stays usable sequentially."""
+        with self._pool_lock:
+            self._closed = True
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self) -> "KernelRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        # Reclaim pool threads when a runtime owner (e.g. an app instance)
+        # is garbage collected without calling close().
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    def plan(
+        self,
+        A,
+        *,
+        pattern: Union[OpPattern, str] = "sigmoid_embedding",
+        backend: str = "auto",
+        block_size: Optional[int] = None,
+        strategy: str = "auto",
+        autotune: Optional[bool] = None,
+        **pattern_overrides,
+    ) -> KernelPlan:
+        """Fetch (or build and cache) the execution plan for ``A``."""
+        A = as_csr(A)
+        op_pattern = get_pattern(pattern, **pattern_overrides)
+        resolved = op_pattern.resolved()
+        key = PlanKey(
+            fingerprint=matrix_fingerprint(A),
+            pattern=pattern_key(resolved),
+            backend=backend,
+            num_threads=self.num_threads,
+            block_size=block_size or 0,
+            strategy=strategy,
+            autotune=self.autotune if autotune is None else bool(autotune),
+        )
+        plan = self._cache.get(key)
+        if plan is not None:
+            return plan
+        plan = build_plan(
+            A,
+            key,
+            op_pattern,
+            resolved,
+            split_nnz=self.split_nnz,
+            max_split=self.max_split,
+            autotune_dim=self.autotune_dim,
+        )
+        self._cache.put(key, plan)
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self._counters[counter] += amount
+
+    def _execute_plan(self, plan: KernelPlan, A, X, Y) -> np.ndarray:
+        """Execute a plan with the runtime's split policy and shared pool.
+
+        Split counts come from the plan (a function of nnz alone), so the
+        arithmetic is identical whether the parts run on the pool or
+        sequentially on this thread.
+        """
+        A = as_csr(A)
+        if plan.nsplit > 1 and plan.supports_parts:
+            self._bump("split_jobs")
+            pool = self.pool
+            return plan.execute(
+                A, X, Y, parts=plan.partitions, pool=pool,
+                num_threads=plan.nsplit if pool is not None else 1,
+            )
+        return plan.execute(A, X, Y, num_threads=1)
+
+    def _execute_plan_on(self, plan: KernelPlan, A, X, Y) -> np.ndarray:
+        """Execute a plan on a matrix other than the one it was built for
+        (minibatch slices, sampled negatives) with the same nnz-aware split
+        policy — recomputing the partitioning, never the dispatch.
+
+        The split count is a function of the matrix alone, and partitions
+        run on the shared pool (no per-call executors), so determinism
+        across thread counts carries over to derived-matrix calls.
+        """
+        nsplit = max(1, min(self.max_split, -(-A.nnz // max(self.split_nnz, 1))))
+        if nsplit > 1 and plan.supports_parts:
+            self._bump("split_jobs")
+            pool = self.pool
+            return plan.execute(
+                A, X, Y, parts=part1d(A, nsplit), pool=pool,
+                num_threads=nsplit if pool is not None else 1,
+            )
+        return plan.execute(A, X, Y, num_threads=1)
+
+    def run(self, A, X=None, Y=None, **plan_opts) -> np.ndarray:
+        """One-shot planned execution: ``Z = FusedMM(A, X, Y)``.
+
+        Functionally equivalent to :func:`repro.core.fused.fusedmm` but
+        amortised: the second call with the same adjacency and
+        configuration skips planning entirely.
+        """
+        self._bump("requests")
+        plan = self.plan(A, **plan_opts)
+        return self._execute_plan(plan, A, X, Y)
+
+    def submit(self, A, X=None, Y=None, **plan_opts) -> "Future[np.ndarray]":
+        """Asynchronous :meth:`run`; returns a future.
+
+        Planning (cache lookup / plan build) happens on the caller thread
+        so cache accounting stays ordered; only kernel execution is
+        deferred.  Without a pool the request executes synchronously and a
+        completed future is returned.
+        """
+        self._bump("requests")
+        self._bump("submitted")
+        plan = self.plan(A, **plan_opts)
+        A = as_csr(A)
+        pool = self.pool
+        if pool is None:
+            fut: "Future[np.ndarray]" = Future()
+            try:
+                fut.set_result(plan.execute(A, X, Y, num_threads=1))
+            except BaseException as exc:  # pragma: no cover - propagated to caller
+                fut.set_exception(exc)
+            return fut
+        # Executed entirely inside one worker (no nested pool use): same
+        # partition list, sequential — bitwise identical to run().
+        if plan.nsplit > 1 and plan.supports_parts:
+            return pool.submit(
+                plan.execute, A, X, Y, parts=plan.partitions, num_threads=1
+            )
+        return pool.submit(plan.execute, A, X, Y, num_threads=1)
+
+    # ------------------------------------------------------------------ #
+    def _config(self, req: KernelRequest) -> KernelPlan:
+        """Cached matrix-independent dispatch config for a request.
+
+        Requests with string patterns and no overrides (the overwhelmingly
+        common case) share one cached config per configuration tuple;
+        anything else is resolved inline.
+        """
+        overrides = dict(req.overrides)
+        if not isinstance(req.pattern, str) or overrides:
+            op_pattern = get_pattern(req.pattern, **overrides)
+            return make_config(
+                op_pattern,
+                op_pattern.resolved(),
+                backend=req.backend,
+                block_size=req.block_size,
+                strategy=req.strategy,
+                num_threads=self.num_threads,
+            )
+        key = (req.pattern, req.backend, req.block_size or 0, req.strategy)
+        with self._configs_lock:
+            cfg = self._configs.get(key)
+        if cfg is not None:
+            return cfg
+        op_pattern = get_pattern(req.pattern)
+        cfg = make_config(
+            op_pattern,
+            op_pattern.resolved(),
+            backend=req.backend,
+            block_size=req.block_size,
+            strategy=req.strategy,
+            num_threads=self.num_threads,
+        )
+        with self._configs_lock:
+            self._configs[key] = cfg
+        return cfg
+
+    def run_batch(
+        self, requests: Sequence[Union[KernelRequest, dict]]
+    ) -> List[np.ndarray]:
+        """Execute many requests with nnz-aware scheduling.
+
+        Results are returned in request order and are bitwise identical to
+        issuing each request as a sequential single-threaded
+        :func:`~repro.core.fused.fusedmm` call with the same parameters.
+
+        Small one-shot requests deliberately bypass the plan LRU (their
+        dispatch decisions come from a matrix-independent config cache), so
+        batch traffic never evicts the long-lived epoch plans.
+        """
+        reqs: List[KernelRequest] = [
+            (r if isinstance(r, KernelRequest) else KernelRequest(**r)).normalized()
+            for r in requests
+        ]
+        self._bump("batches")
+        self._bump("requests", len(reqs))
+        if not reqs:
+            return []
+
+        results: List[Optional[np.ndarray]] = [None] * len(reqs)
+        pool = self.pool
+
+        # Classify: packable smalls, splittable larges, everything else.
+        plans: List[KernelPlan] = []
+        groups: Dict[tuple, List[int]] = {}
+        larges: List[int] = []
+        singles: List[int] = []
+        for i, req in enumerate(reqs):
+            cfg = self._config(req)
+            if req.A.nnz > self.split_nnz and cfg.supports_parts:
+                # Worth a full (fingerprinted, LRU-cached) plan: the split
+                # partitioning is reused on repeated submissions.
+                cfg = self.plan(
+                    req.A,
+                    pattern=req.pattern,
+                    backend=req.backend,
+                    block_size=req.block_size,
+                    strategy=req.strategy,
+                    **dict(req.overrides),
+                )
+                larges.append(i)
+            elif (
+                self.pack_small
+                and cfg.supports_parts
+                # Packable requests must fit inside one edge block of a
+                # standalone call, so a packed multi-request block replays
+                # the exact same per-row arithmetic …
+                and req.A.nnz <= min(self.pack_nnz, cfg.block_size)
+                # … and must be small enough that the enlarged gather
+                # working set doesn't cancel the dispatch savings.
+                and (req.A.nrows + req.A.ncols) * _req_dim(req) <= self.pack_dense_elems
+            ):
+                groups.setdefault(pack_group_key(cfg, req), []).append(i)
+            else:
+                singles.append(i)
+            plans.append(cfg)
+
+        # Groups of one are ordinary single jobs.
+        packed_groups: List[List[int]] = []
+        for members in groups.values():
+            if len(members) == 1:
+                singles.append(members[0])
+            else:
+                packed_groups.append(members)
+
+        def run_single(i: int) -> np.ndarray:
+            return plans[i].execute(reqs[i].A, reqs[i].X, reqs[i].Y, num_threads=1)
+
+        def run_packed(members: List[int]) -> List[np.ndarray]:
+            packed = pack_requests([reqs[i] for i in members])
+            plan = plans[members[0]]
+            # Coalesce the per-request partitions into request-aligned
+            # parts of roughly one planned edge block each.  Each part is
+            # then processed as a single fused block (``block_size`` covers
+            # the largest part): rows never straddle a block boundary —
+            # every row is one segment reduction, exactly as in a
+            # standalone single-threaded call — so results are bitwise
+            # identical, while the gathers/einsum/reduceat vectorise over
+            # whole multi-request blocks instead of per-request calls.
+            # Part boundaries depend only on the requests, never on the
+            # pool width, so thread-count determinism is preserved.
+            target = max(plan.block_size, 1)
+            parts: List[RowPartition] = []
+            acc_start = acc_stop = acc_nnz = 0
+            for p in packed.parts:
+                if acc_nnz and acc_nnz + p.nnz > target:
+                    parts.append(RowPartition(acc_start, acc_stop, acc_nnz))
+                    acc_start, acc_nnz = acc_stop, 0
+                acc_stop = p.stop
+                acc_nnz += p.nnz
+            if acc_stop > acc_start:
+                parts.append(RowPartition(acc_start, acc_stop, acc_nnz))
+            # One block per part: with grid-aligned blocks the only multiple
+            # of ``bs`` is edge 0 when ``bs`` covers the whole packed edge
+            # array, so no part is ever cut internally.
+            bs = max(packed.A.nnz, 1)
+            group_pool = self.pool
+            Z = plan.execute(
+                packed.A,
+                packed.X,
+                packed.Y,
+                parts=parts,
+                pool=group_pool,
+                num_threads=len(parts) if group_pool is not None else 1,
+                block_size=bs,
+                strategy=effective_strategy(plan, reqs[members[0]].A),
+            )
+            return packed.split_result(Z)
+
+        futures = []
+        if pool is not None:
+            for i in singles:
+                futures.append((i, pool.submit(run_single, i)))
+        # Packed groups and large jobs fan their partitions out over the
+        # pool from this thread (never from inside a worker — no nested
+        # waiting); singles run concurrently as ordinary pool tasks.
+        for members in packed_groups:
+            for i, Z in zip(members, run_packed(members)):
+                results[i] = Z
+        for i in larges:
+            results[i] = self._execute_plan(plans[i], reqs[i].A, reqs[i].X, reqs[i].Y)
+        if pool is None:
+            for i in singles:
+                results[i] = run_single(i)
+        else:
+            for i, fut in futures:
+                results[i] = fut.result()
+
+        self._bump("single_jobs", len(singles))
+        self._bump("packed_groups", len(packed_groups))
+        self._bump("packed_requests", sum(len(m) for m in packed_groups))
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    def epochs(self, A, **plan_opts) -> EpochStream:
+        """Bind a cached plan to ``A`` for an epoch-style training loop."""
+        A = as_csr(A)
+        plan = self.plan(A, **plan_opts)
+        return EpochStream(self, A, plan)
+
+    # ------------------------------------------------------------------ #
+    def cache_stats(self) -> CacheStats:
+        """Plan-cache accounting (hits, misses, evictions, size)."""
+        return self._cache.stats()
+
+    def clear_cache(self) -> None:
+        """Drop all cached plans."""
+        self._cache.clear()
+
+    def stats(self) -> Dict[str, object]:
+        """Runtime-wide counters + plan-cache stats (for logs/monitoring)."""
+        with self._stats_lock:
+            counters = dict(self._counters)
+        return {
+            "plan_cache": self.cache_stats().as_dict(),
+            "num_threads": self.num_threads,
+            "pool_active": self._pool is not None,
+            **counters,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.cache_stats()
+        return (
+            f"KernelRuntime(num_threads={self.num_threads}, "
+            f"plans={s.size}/{s.capacity}, hits={s.hits}, misses={s.misses})"
+        )

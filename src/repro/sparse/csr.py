@@ -48,7 +48,9 @@ class CSRMatrix:
         from internal constructors that guarantee validity.
     """
 
-    __slots__ = ("nrows", "ncols", "indptr", "indices", "data")
+    # ``__weakref__`` lets the runtime's plan cache memoise per-matrix
+    # fingerprints without keeping matrices alive.
+    __slots__ = ("nrows", "ncols", "indptr", "indices", "data", "__weakref__")
 
     def __init__(
         self,

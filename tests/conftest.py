@@ -68,8 +68,14 @@ def features_16(small_square_csr) -> np.ndarray:
     return random_features(small_square_csr.nrows, 16, seed=0)
 
 
-def make_xy(A: CSRMatrix, d: int, seed: int = 0):
-    """(X, Y) operand pair sized for A (helper importable from tests)."""
-    X = random_features(A.nrows, d, seed=seed)
-    Y = X if A.nrows == A.ncols else random_features(A.ncols, d, seed=seed + 1)
-    return X, Y
+@pytest.fixture
+def make_xy():
+    """The (X, Y) operand-pair helper, exposed as a fixture.
+
+    Test modules that need it at import time import it from
+    ``tests/_helpers.py`` instead — never ``from conftest import ...``,
+    which collides with ``benchmarks/conftest.py`` during collection.
+    """
+    from _helpers import make_xy as _make_xy
+
+    return _make_xy

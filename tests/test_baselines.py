@@ -20,7 +20,7 @@ from repro.baselines import (
 from repro.core import fusedmm, get_pattern, spmm_kernel
 from repro.errors import BackendError
 from repro.sparse import random_csr
-from conftest import make_xy
+from _helpers import make_xy
 
 
 @pytest.fixture(scope="module")

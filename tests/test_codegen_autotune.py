@@ -22,7 +22,7 @@ from repro.core.generic import fusedmm_generic
 from repro.errors import CodegenError
 from repro.graphs.features import xavier_init
 from repro.sparse import random_csr
-from conftest import make_xy
+from _helpers import make_xy
 
 
 # ------------------------------------------------------------------ #

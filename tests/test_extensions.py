@@ -12,7 +12,7 @@ from repro.core.extensions import (
 )
 from repro.errors import ShapeError
 from repro.sparse import CSRMatrix, random_csr
-from conftest import make_xy
+from _helpers import make_xy
 
 
 @pytest.fixture(scope="module")

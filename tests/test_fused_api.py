@@ -8,7 +8,7 @@ from repro.core import BACKENDS
 from repro.core.fused import _Plan  # noqa: F401 - ensure private import works
 from repro.errors import BackendError
 from repro.sparse import random_csr
-from conftest import make_xy
+from _helpers import make_xy
 
 
 @pytest.fixture(scope="module")

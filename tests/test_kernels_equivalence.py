@@ -21,7 +21,7 @@ from repro.core import (
     supports_pattern,
 )
 from repro.sparse import random_bipartite, random_csr
-from conftest import make_xy
+from _helpers import make_xy
 
 PATTERNS = ["sigmoid_embedding", "fr_layout", "gcn", "spmm", "sddmm_dot"]
 ATOL = 1e-3

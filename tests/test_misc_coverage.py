@@ -12,7 +12,7 @@ from repro.core.specialized import fr_layout_kernel
 from repro.graphs import load_dataset, random_features, rmat
 from repro.perf import measure_peak_allocation
 from repro.sparse import random_csr
-from conftest import make_xy
+from _helpers import make_xy
 
 
 def test_compare_kernels_scales_generic_on_large_graphs():

@@ -18,6 +18,7 @@ from repro.core import (
     get_pattern,
     supports_pattern,
 )
+from repro.runtime import KernelRequest, KernelRuntime
 from repro.sparse import COOMatrix, CSRMatrix
 
 settings.register_profile("repro-kernels", deadline=None, max_examples=25)
@@ -98,6 +99,48 @@ def test_thread_invariance(problem, threads):
     single = fusedmm_edgeblocked(A, X, Y, pattern="sigmoid_embedding", num_threads=1)
     multi = fusedmm_edgeblocked(A, X, Y, pattern="sigmoid_embedding", num_threads=threads)
     assert np.allclose(single, multi, atol=1e-5)
+
+
+@given(problems(), PATTERN_NAMES)
+def test_runtime_run_matches_generic(problem, pattern):
+    """KernelRuntime.run agrees with the Algorithm 1 reference for random
+    CSR operands across all Table III patterns."""
+    A, X, Y = problem
+    ref = fusedmm_generic(A, X, Y, pattern=pattern)
+    rt = KernelRuntime(num_threads=1, cache_size=4)
+    assert np.allclose(rt.run(A, X, Y, pattern=pattern), ref, atol=ATOL)
+    # A second (plan-cached) call computes the same thing.
+    assert np.allclose(rt.run(A, X, Y, pattern=pattern), ref, atol=ATOL)
+
+
+@given(problems(), PATTERN_NAMES)
+def test_runtime_batch_matches_generic(problem, pattern):
+    """run_batch equals the generic reference regardless of which schedule
+    (packed / single / split) the request lands on."""
+    A, X, Y = problem
+    ref = fusedmm_generic(A, X, Y, pattern=pattern)
+    # Tiny thresholds force interesting scheduling decisions even for the
+    # small matrices hypothesis generates.
+    rt = KernelRuntime(num_threads=1, pack_nnz=64, split_nnz=96)
+    outs = rt.run_batch([KernelRequest(A, X, Y, pattern=pattern)] * 3)
+    for Z in outs:
+        assert np.allclose(Z, ref, atol=ATOL)
+
+
+@given(problems(), PATTERN_NAMES, st.integers(min_value=1, max_value=4))
+def test_runtime_thread_invariance(problem, pattern, threads):
+    """Runtime results are bitwise identical across pool widths (the
+    determinism invariant of core/parallel.py, inherited by the runtime's
+    nnz-aware scheduling)."""
+    A, X, Y = problem
+    rt1 = KernelRuntime(num_threads=1, split_nnz=64)
+    rtn = KernelRuntime(num_threads=threads, split_nnz=64)
+    try:
+        assert np.array_equal(
+            rt1.run(A, X, Y, pattern=pattern), rtn.run(A, X, Y, pattern=pattern)
+        )
+    finally:
+        rtn.close()
 
 
 @given(problems())

@@ -19,7 +19,7 @@ from repro.core.specialized import (
     spmm_kernel,
 )
 from repro.sparse import random_bipartite, random_csr
-from conftest import make_xy
+from _helpers import make_xy
 
 
 @pytest.fixture(scope="module")
