@@ -26,6 +26,7 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from repro.bench.record import record_benchmark  # noqa: E402
 from repro.bench.runtime_bench import run_throughput_benchmark  # noqa: E402
 from repro.bench.tables import format_table  # noqa: E402
 
@@ -37,6 +38,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--threads", type=int, default=1)
     parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write BENCH_runtime.json-style results to PATH",
+    )
+    parser.add_argument(
         "--no-check",
         action="store_true",
         help="report only; do not fail on missed speedup targets",
@@ -45,6 +52,15 @@ def main(argv=None) -> int:
 
     rows = run_throughput_benchmark(quick=args.quick, num_threads=args.threads)
     print(format_table(rows, title="Kernel-runtime throughput"))
+
+    if args.json:
+        path = record_benchmark(
+            "runtime",
+            rows,
+            path=args.json,
+            extra={"config": {"quick": args.quick, "threads": args.threads}},
+        )
+        print(f"wrote {path}")
 
     plan_rows = [r for r in rows if r["benchmark"] == "plan_cache"]
     batch_rows = [r for r in rows if r["benchmark"] == "batch_packing"]

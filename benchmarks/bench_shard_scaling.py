@@ -1,0 +1,109 @@
+"""Benchmark: shard scaling of the multi-process execution tier.
+
+Runs :func:`repro.bench.bench_shard_scaling` — the same kernel on the same
+graph through 1, 2 and 4 worker shards — verifying bitwise equality against
+sequential ``fusedmm`` and reporting throughput per shard count.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py [--quick] [--json PATH]
+
+or via the CLI: ``python -m repro bench shard``.  On multi-core hosts the
+process exits non-zero unless some multi-shard row beats the 1-shard
+baseline (``--no-check`` reports only; single-core hosts, where no
+speedup is physically possible, always report only).  ``--json`` writes a
+machine-readable ``BENCH_shard.json`` via :mod:`repro.bench.record`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench.record import record_benchmark  # noqa: E402
+from repro.bench.shard_bench import bench_shard_scaling  # noqa: E402
+from repro.bench.tables import format_table  # noqa: E402
+from repro.core.parallel import available_threads  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4], help="shard counts"
+    )
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument("--avg-degree", type=int, default=16)
+    parser.add_argument("--dim", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write BENCH_shard.json-style results to PATH",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="report only; do not fail on missed targets",
+    )
+    args = parser.parse_args(argv)
+
+    nodes = args.nodes or (4_000 if args.quick else 20_000)
+    dim = args.dim or (32 if args.quick else 64)
+    repeats = args.repeats or (2 if args.quick else 3)
+
+    rows = bench_shard_scaling(
+        num_nodes=nodes,
+        avg_degree=args.avg_degree,
+        dim=dim,
+        repeats=repeats,
+        shard_counts=args.shards,
+    )
+    print(format_table(rows, title="Shard scaling (multi-process tier)"))
+
+    if args.json:
+        path = record_benchmark(
+            "shard",
+            rows,
+            path=args.json,
+            extra={"config": {"nodes": nodes, "dim": dim, "repeats": repeats}},
+        )
+        print(f"wrote {path}")
+
+    failures = []
+    for r in rows:
+        if not r["identical"]:
+            failures.append(
+                f"shard count {r['shards']}: result not bitwise identical"
+            )
+    multi_core = available_threads() > 1
+    multi_rows = [r for r in rows if r["shards"] > 1]
+    if multi_core and multi_rows:
+        best = max(r["speedup_vs_1shard"] for r in multi_rows)
+        if best <= 1.0:
+            failures.append(
+                f"no multi-shard speedup (best {best:.2f}x <= 1.0x vs 1 shard)"
+            )
+    if failures and not args.no_check:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    if failures:
+        print("targets missed (reported only)")
+    elif not multi_core:
+        print("single-core host: correctness verified, speedup not applicable")
+    else:
+        print("shard scaling targets met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,10 @@
 """Setup shim.
 
-All project metadata lives in ``pyproject.toml``; this file exists so the
-package can be installed in environments whose setuptools lacks PEP 660
-editable-wheel support (legacy ``pip install -e .`` falls back to
-``setup.py develop``).
+All project metadata lives in ``pyproject.toml`` (name, dynamic version,
+dependencies, the ``repro`` console script and the src layout); this file
+exists so the package can be installed in environments whose setuptools
+lacks PEP 660 editable-wheel support (legacy ``pip install -e .`` falls
+back to ``setup.py develop``).
 """
 
 from setuptools import setup

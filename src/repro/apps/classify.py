@@ -15,7 +15,6 @@ so this module provides the two needed ingredients from scratch:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np

@@ -28,8 +28,8 @@ The ``backend`` knob selects which kernel implementation performs the work:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -65,6 +65,9 @@ class Force2VecConfig:
     seed: int = 0
     backend: str = "fused"
     num_threads: int = 1
+    #: worker processes of the sharded execution tier (0 = in-process);
+    #: see :mod:`repro.runtime.workers`
+    processes: int = 0
     #: clip gradient norms to this value (0 disables clipping)
     max_grad_norm: float = 5.0
 
@@ -120,9 +123,13 @@ class Force2Vec:
         )
         # The adjacency is fixed across all epochs; bind the two kernel
         # patterns of the gradient (sigmoid aggregation + plain SpMM) to
-        # cached plans once and stream every minibatch through them.
+        # cached plans once and stream every minibatch through them.  With
+        # ``processes`` set, large minibatch kernels run on the sharded
+        # multi-process tier (bitwise identical results).
         self._runtime = KernelRuntime(
-            num_threads=self.config.num_threads, cache_size=4
+            num_threads=self.config.num_threads,
+            cache_size=4,
+            processes=self.config.processes,
         )
         self._sig_stream = self._runtime.epochs(
             self.adjacency, pattern="sigmoid_embedding"

@@ -51,6 +51,8 @@ class FRLayoutConfig:
     seed: int = 0
     backend: str = "fused"
     num_threads: int = 1
+    #: worker processes of the sharded execution tier (0 = in-process)
+    processes: int = 0
 
     def __post_init__(self) -> None:
         if self.backend not in LAYOUT_BACKENDS:
@@ -78,9 +80,14 @@ class FRLayout:
         self._sampler = NegativeSampler(graph.num_vertices, seed=self.config.seed + 3)
         # One plan for the whole cooling schedule: the adjacency never
         # changes between iterations, so planning happens exactly once and
-        # every step streams through the cached plan.  The sampled
-        # repulsive matrices reuse the same plan via ``run_on``.
-        self._runtime = KernelRuntime(num_threads=self.config.num_threads, cache_size=4)
+        # every step streams through the cached plan (sharded over worker
+        # processes when ``processes`` is set).  The sampled repulsive
+        # matrices reuse the same plan via ``run_on``.
+        self._runtime = KernelRuntime(
+            num_threads=self.config.num_threads,
+            cache_size=4,
+            processes=self.config.processes,
+        )
         self._force_stream = self._runtime.epochs(self.adjacency, pattern="fr_layout")
         self.iteration_seconds: List[float] = []
 

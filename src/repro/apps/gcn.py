@@ -18,7 +18,7 @@ aggregation is symmetric, so its adjoint is the same SpMM).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -67,6 +67,8 @@ class GCNConfig:
     seed: int = 0
     backend: str = "fused"
     num_threads: int = 1
+    #: worker processes of the sharded execution tier (0 = in-process)
+    processes: int = 0
 
     def __post_init__(self) -> None:
         if self.backend not in GCN_BACKENDS:
@@ -108,8 +110,11 @@ class GCN:
         )
         # The normalised adjacency is fixed for the whole training run, so
         # the fused aggregation is planned exactly once and streamed: every
-        # forward/backward SpMM reuses the cached plan.
-        self._runtime = KernelRuntime(num_threads=cfg.num_threads, cache_size=4)
+        # forward/backward SpMM reuses the cached plan (sharded over worker
+        # processes when ``processes`` is set).
+        self._runtime = KernelRuntime(
+            num_threads=cfg.num_threads, cache_size=4, processes=cfg.processes
+        )
         self._agg_stream = self._runtime.epochs(self.A_hat, pattern="gcn")
         self.history: List[Dict[str, float]] = []
 

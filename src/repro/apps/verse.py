@@ -43,6 +43,8 @@ class VerseConfig:
     noise_samples: int = 3
     seed: int = 0
     num_threads: int = 1
+    #: worker processes of the sharded execution tier (0 = in-process)
+    processes: int = 0
 
     def __post_init__(self) -> None:
         if self.dim <= 0 or self.batch_size <= 0:
@@ -70,9 +72,12 @@ class Verse:
         self._sampler = NegativeSampler(graph.num_vertices, seed=self.config.seed + 13)
         # Plans for the similarity distribution are resolved once and
         # streamed: minibatch row slices and sampled noise matrices run
-        # through the cached plans via ``run_on``.
+        # through the cached plans via ``run_on`` (and through the sharded
+        # worker tier when ``processes`` is set).
         self._runtime = KernelRuntime(
-            num_threads=self.config.num_threads, cache_size=4
+            num_threads=self.config.num_threads,
+            cache_size=4,
+            processes=self.config.processes,
         )
         self._sig_stream = self._runtime.epochs(
             self.similarity, pattern="sigmoid_embedding"

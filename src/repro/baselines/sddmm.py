@@ -18,7 +18,6 @@ time and memory comparisons apples-to-apples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -16,7 +16,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.patterns import OpPattern, ResolvedPattern, get_pattern
-from ..core.validation import validate_operands
 from .sddmm import SDDMMResult
 
 __all__ = ["gspmm"]

@@ -2,16 +2,22 @@
 pytest-benchmark targets."""
 
 from .harness import compare_kernels, kernel_callables, make_operands
+from .record import bench_environment, load_benchmark, record_benchmark
 from .report import ExperimentReport, comparison_block, load_results, save_results
 from .runtime_bench import (
     bench_batch_packing,
     bench_plan_cache,
     run_throughput_benchmark,
 )
+from .shard_bench import bench_shard_scaling
 from .sweep import DegreeSweepItem, degree_sweep_graphs, dimension_sweep
 from .tables import format_markdown_table, format_table, format_value
 
 __all__ = [
+    "bench_environment",
+    "record_benchmark",
+    "load_benchmark",
+    "bench_shard_scaling",
     "compare_kernels",
     "kernel_callables",
     "make_operands",

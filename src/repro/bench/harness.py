@@ -26,7 +26,7 @@ from ..core.fused import fusedmm
 from ..core.patterns import OpPattern
 from ..graphs.features import random_features
 from ..sparse import CSRMatrix, as_csr
-from ..perf.timer import Timing, time_kernel
+from ..perf.timer import time_kernel
 
 __all__ = ["kernel_callables", "compare_kernels", "make_operands"]
 

@@ -1,0 +1,84 @@
+"""Shard-scaling benchmark for the multi-process execution tier.
+
+Measures the throughput of :meth:`KernelRuntime.run_sharded` as the shard
+count grows on one fixed graph, always verifying bitwise equality against
+the sequential single-process kernel — scaling numbers for results that
+differ would be meaningless.
+
+Exposed to both ``repro bench shard`` and
+``benchmarks/bench_shard_scaling.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.fused import fusedmm
+from ..graphs import rmat
+from ..graphs.features import random_features
+from ..runtime import KernelRuntime
+
+__all__ = ["bench_shard_scaling"]
+
+
+def bench_shard_scaling(
+    *,
+    num_nodes: int = 20_000,
+    avg_degree: int = 16,
+    dim: int = 64,
+    repeats: int = 3,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    pattern: str = "sigmoid_embedding",
+    seed: int = 5,
+) -> List[Dict[str, object]]:
+    """Throughput of sharded execution at each shard count.
+
+    The 1-shard row also runs through the worker pool (one worker doing all
+    partitions), so reported speedups isolate parallelism from IPC overhead
+    rather than flattering the multi-shard rows.  Every row records whether
+    the sharded result was bitwise identical to sequential ``fusedmm``.
+    """
+    A = rmat(num_nodes, num_nodes * avg_degree, seed=seed)
+    X = random_features(A.nrows, dim, seed=seed)
+    ref = fusedmm(A, X, X, pattern=pattern, num_threads=1)
+
+    rows: List[Dict[str, object]] = []
+    for shards in shard_counts:
+        runtime = KernelRuntime(num_threads=1, processes=int(shards))
+        try:
+            Z = runtime.run_sharded(A, X, pattern=pattern)  # warm-up + plan
+            identical = bool(np.array_equal(Z, ref))
+            total = 0.0
+            for _ in range(max(1, repeats)):
+                t0 = time.perf_counter()
+                runtime.run_sharded(A, X, pattern=pattern)
+                total += time.perf_counter() - t0
+            seconds = total / max(1, repeats)
+            shard_plan = runtime.shard_plan(A, pattern=pattern)
+        finally:
+            runtime.close()
+        edges_per_s = A.nnz / max(seconds, 1e-12)
+        rows.append(
+            {
+                "benchmark": "shard_scaling",
+                "graph": f"rmat n={num_nodes}",
+                "nnz": A.nnz,
+                "d": dim,
+                "pattern": pattern,
+                "shards": int(shards),
+                "busy_shards": shard_plan.busy_shards,
+                "balance": shard_plan.balance(),
+                "seconds": seconds,
+                "edges_per_s": edges_per_s,
+                "identical": identical,
+            }
+        )
+    # Baseline for the speedup column is the 1-shard row regardless of the
+    # order (or presence) of 1 in ``shard_counts``.
+    base = next((r for r in rows if r["shards"] == 1), rows[0] if rows else None)
+    for r in rows:
+        r["speedup_vs_1shard"] = r["edges_per_s"] / max(base["edges_per_s"], 1e-12)
+    return rows

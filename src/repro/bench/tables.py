@@ -7,7 +7,7 @@ Markdown for EXPERIMENTS.md) without pulling in any dependency.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, List, Sequence
 
 __all__ = ["format_table", "format_markdown_table", "format_value"]
 

@@ -8,7 +8,8 @@ Sub-commands
 ``run``           run one experiment and print its tables
 ``kernel``        time one kernel comparison on one graph/dimension
 ``bench``         system benchmarks (``bench runtime``: plan-cache and
-                  batch-packing throughput of the kernel runtime)
+                  batch-packing throughput of the kernel runtime;
+                  ``bench shard``: multi-process shard scaling)
 ``report``        regenerate EXPERIMENTS.md style results (all experiments,
                   scaled down) and write them to a Markdown file
 
@@ -124,7 +125,30 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
         )
     )
     print(format_table(rows, title="Kernel-runtime throughput (plan cache + batching)"))
+    if args.json:
+        from .bench.record import record_benchmark
+
+        print(f"wrote {record_benchmark('runtime', rows, path=args.json)}")
     return 0
+
+
+def _cmd_bench_shard(args: argparse.Namespace) -> int:
+    from .bench.shard_bench import bench_shard_scaling
+
+    rows = bench_shard_scaling(
+        num_nodes=args.nodes,
+        avg_degree=args.avg_degree,
+        dim=args.dim,
+        repeats=args.repeats,
+        shard_counts=args.shards,
+        pattern=args.pattern,
+    )
+    print(format_table(rows, title="Shard scaling (multi-process tier)"))
+    if args.json:
+        from .bench.record import record_benchmark
+
+        print(f"wrote {record_benchmark('shard', rows, path=args.json)}")
+    return 0 if all(r["identical"] for r in rows) else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -179,7 +203,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench_rt.add_argument("--batch", type=int, default=32)
     p_bench_rt.add_argument("--repeats", type=int, default=3)
     p_bench_rt.add_argument("--threads", type=int, default=1)
+    p_bench_rt.add_argument("--json", metavar="PATH", default=None)
     p_bench_rt.set_defaults(func=_cmd_bench_runtime)
+
+    p_bench_sh = bench_sub.add_parser(
+        "shard", help="shard scaling of the multi-process execution tier"
+    )
+    p_bench_sh.add_argument("--nodes", type=int, default=20_000)
+    p_bench_sh.add_argument("--avg-degree", type=int, default=16)
+    p_bench_sh.add_argument("--dim", type=int, default=64)
+    p_bench_sh.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4])
+    p_bench_sh.add_argument("--repeats", type=int, default=3)
+    p_bench_sh.add_argument("--pattern", default="sigmoid_embedding")
+    p_bench_sh.add_argument("--json", metavar="PATH", default=None)
+    p_bench_sh.set_defaults(func=_cmd_bench_shard)
 
     p_report = sub.add_parser("report", help="regenerate the experiments report")
     p_report.add_argument("--output", default="EXPERIMENTS_GENERATED.md")

@@ -23,7 +23,7 @@ dispatcher in :mod:`repro.core.fused` handles that automatically).
 from __future__ import annotations
 
 import textwrap
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
 import numpy as np
 

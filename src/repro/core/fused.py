@@ -33,11 +33,10 @@ from ..sparse import CSRMatrix
 from .autotune import TuningResult, autotune
 from .codegen import compile_kernel, supports_pattern
 from .generic import fusedmm_generic
-from .optimized import DEFAULT_BLOCK_SIZE, fusedmm_edgeblocked, fusedmm_optimized, fusedmm_rowblocked
+from .optimized import DEFAULT_BLOCK_SIZE, fusedmm_optimized
 from .partition import part1d
 from .patterns import OpPattern, get_pattern
 from .specialized import get_specialized_kernel
-from .validation import validate_operands
 
 __all__ = ["fusedmm", "FusedMM", "BACKENDS"]
 

@@ -34,7 +34,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from .operators import Operator
 from .patterns import OpPattern, ResolvedPattern, get_pattern
 from .validation import validate_operands
 

@@ -37,7 +37,7 @@ Differences from the paper's table, and why
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import Dict
 
 from ..errors import PatternError
 from .operators import OpKind, Operator, get_op

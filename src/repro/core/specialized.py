@@ -29,7 +29,6 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from .operators import Operator
 from .optimized import DEFAULT_BLOCK_SIZE, _edge_block_ranges
 from .parallel import ParallelConfig, run_partitioned
 from .partition import RowPartition

@@ -56,3 +56,13 @@ class DatasetError(ReproError, KeyError):
 class ConvergenceError(ReproError, RuntimeError):
     """Raised when an iterative application (training loop, layout) fails
     to make progress under the configured limits."""
+
+
+class WorkerError(ReproError, RuntimeError):
+    """Raised when a sharded-execution worker process reports a failure
+    (the worker stays alive and the pool remains usable)."""
+
+
+class WorkerCrashError(WorkerError):
+    """Raised when a worker process dies unexpectedly (killed, segfault,
+    OOM).  The pool respawns the worker; the in-flight call is lost."""

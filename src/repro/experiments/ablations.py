@@ -34,7 +34,6 @@ from ..graphs.datasets import load_dataset
 from ..graphs.generators import rmat
 from ..graphs.features import random_features
 from ..perf.timer import time_kernel
-from ..sparse import CSRMatrix
 
 __all__ = [
     "run_backend_ladder",

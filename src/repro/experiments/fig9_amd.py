@@ -12,7 +12,7 @@ from typing import Dict, List, Sequence
 
 from ..bench.tables import format_table
 from ..perf.machine import MACHINES
-from .fig8_arm import APPLICATIONS, run as _run_on_machine
+from .fig8_arm import run as _run_on_machine
 
 __all__ = ["PAPER_FIG9_SPEEDUPS", "run", "main", "MACHINE_KEY"]
 

@@ -22,7 +22,7 @@ dimension sweep behaviour), which the synthetic graphs preserve.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 

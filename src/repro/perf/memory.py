@@ -21,7 +21,7 @@ import tracemalloc
 from dataclasses import dataclass
 from typing import Callable, Dict
 
-from ..core.patterns import OpPattern, get_pattern
+from ..core.patterns import OpPattern
 from ..sparse import as_csr
 
 __all__ = [

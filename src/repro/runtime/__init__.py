@@ -6,7 +6,10 @@ This package is the serving/scheduling layer above :mod:`repro.core`:
 ``cache``        bounded LRU of execution plans with hit/miss accounting
 ``plan``         matrix-bound execution plans (resolution + tuning + parts)
 ``batch``        request packing (block-diagonal) and scheduling metadata
+``shard``        nnz-balanced assignment of plan partitions to worker shards
+``workers``      persistent multiprocessing pool with shared-memory CSR
 ``runtime``      :class:`KernelRuntime` — run / submit / run_batch / epochs
+                 / run_sharded / submit_sharded
 
 Typical usage::
 
@@ -29,10 +32,17 @@ from .fingerprint import (
 )
 from .plan import KernelPlan, PlanKey, build_plan, pattern_key
 from .runtime import EpochStream, KernelRuntime
+from .shard import ShardAssignment, ShardPlan, assign_shards
+from .workers import WorkerPool, default_start_method
 
 __all__ = [
     "KernelRuntime",
     "EpochStream",
+    "ShardPlan",
+    "ShardAssignment",
+    "assign_shards",
+    "WorkerPool",
+    "default_start_method",
     "KernelRequest",
     "KernelPlan",
     "PlanKey",

@@ -16,7 +16,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterator, Optional, Tuple
+from typing import Dict, Hashable, Tuple
 
 __all__ = ["CacheStats", "PlanCache"]
 

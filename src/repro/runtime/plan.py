@@ -34,7 +34,7 @@ from ..core.fused import BACKENDS
 from ..core.generic import fusedmm_generic
 from ..core.optimized import DEFAULT_BLOCK_SIZE, fusedmm_optimized
 from ..core.partition import RowPartition, part1d
-from ..core.patterns import OpPattern, ResolvedPattern, get_pattern
+from ..core.patterns import OpPattern, ResolvedPattern
 from ..core.specialized import get_specialized_kernel, spmm_kernel
 from ..errors import BackendError
 from ..sparse import CSRMatrix

@@ -15,14 +15,22 @@ on.  It owns
   (:mod:`repro.runtime.batch`);
 * a **streaming epoch API** (:meth:`epochs`) that training loops bind once
   per adjacency and then drive with new feature matrices every epoch or
-  minibatch.
+  minibatch;
+* a **sharded multi-process tier** (:meth:`run_sharded` /
+  :meth:`submit_sharded`, enabled with ``processes=``): the plan's 1-D
+  partitions are grouped into nnz-balanced shards
+  (:mod:`repro.runtime.shard`) and executed by a persistent pool of worker
+  processes (:mod:`repro.runtime.workers`) that hold the CSR matrix in
+  shared memory — the escape hatch from the GIL for kernels too small to
+  amortise NumPy's internal threading.
 
 Determinism
 -----------
-Scheduling decisions (split counts, partition boundaries, packing) depend
-only on the requests themselves — never on how many worker threads the
-runtime happens to own — so results are bitwise identical across thread
-counts, extending the invariant documented in :mod:`repro.core.parallel`.
+Scheduling decisions (split counts, partition boundaries, packing, shard
+assignment) depend only on the requests themselves — never on how many
+worker threads or processes the runtime happens to own — so results are
+bitwise identical across thread *and* shard counts, extending the
+invariant documented in :mod:`repro.core.parallel`.
 """
 
 from __future__ import annotations
@@ -49,6 +57,8 @@ from .plan import (
     make_config,
     pattern_key,
 )
+from .shard import ShardPlan, assign_shards
+from .workers import WorkerPool, plan_spec_from_plan
 
 __all__ = ["KernelRuntime", "EpochStream"]
 
@@ -71,6 +81,11 @@ DEFAULT_SPLIT_NNZ = 16384
 #: Upper bound on split tasks per job (keeps partitioning deterministic
 #: and bounded regardless of pool width).
 DEFAULT_MAX_SPLIT = 8
+#: Below this nnz the streaming paths (``epochs``/``run_on``) keep a job in
+#: process even when a worker pool exists: shipping the operands through
+#: shared memory costs more than the kernel itself for small matrices.
+#: Explicit ``run_sharded``/``submit_sharded`` calls ignore the threshold.
+DEFAULT_SHARD_MIN_NNZ = 16384
 
 
 def _req_dim(req: KernelRequest) -> int:
@@ -103,9 +118,14 @@ class EpochStream:
 
     # ------------------------------------------------------------------ #
     def step(self, X=None, Y=None) -> np.ndarray:
-        """Execute one full-adjacency epoch call with the cached plan."""
+        """Execute one full-adjacency epoch call with the cached plan.
+
+        When the runtime owns a worker pool (``processes=``) and the bound
+        adjacency is large enough, the call runs through the sharded
+        multi-process tier — bitwise identically to the in-process path.
+        """
         t0 = time.perf_counter()
-        Z = self._runtime._execute_plan(self.plan, self.A, X, Y)
+        Z = self._runtime._execute_plan_auto(self.plan, self.A, X, Y)
         self.kernel_seconds += time.perf_counter() - t0
         self.epochs_run += 1
         return Z
@@ -116,8 +136,8 @@ class EpochStream:
         """Execute the planned kernel on a derived matrix (minibatch slice,
         sampled negatives, …) — resolution and dispatch are reused, the
         partitioning is recomputed for the new matrix with the runtime's
-        nnz-aware split policy (large slices fan out on the shared pool,
-        small ones run sequentially)."""
+        nnz-aware split policy (large slices fan out on the shared pool or
+        the worker shards, small ones run sequentially)."""
         t0 = time.perf_counter()
         Z = self._runtime._execute_plan_on(self.plan, as_csr(A_sub), X, Y)
         self.kernel_seconds += time.perf_counter() - t0
@@ -145,6 +165,21 @@ class KernelRuntime:
         Default autotuning policy for new plans (overridable per call).
     pack_nnz, split_nnz, max_split:
         nnz-aware scheduling thresholds; see :mod:`repro.runtime.batch`.
+    processes:
+        Worker *processes* of the sharded execution tier; 0 (default)
+        disables it.  Shard workers run the kernels single-threaded over
+        shared-memory CSR shards; see :mod:`repro.runtime.workers`.
+    shards:
+        Default shard count for sharded calls (defaults to ``processes``;
+        clamped to the pool size per call).
+    shard_min_nnz:
+        Streaming calls (``epochs().step``/``run_on``) only use the worker
+        pool for matrices at or above this nnz; explicit sharded calls
+        ignore it.
+    worker_start_method, worker_timeout, worker_matrix_cache:
+        Passed through to :class:`~repro.runtime.workers.WorkerPool`
+        (start method, per-call reply ceiling, bound on matrices kept
+        registered in shared memory).
 
     Example
     -------
@@ -172,6 +207,12 @@ class KernelRuntime:
         pack_dense_elems: int = DEFAULT_PACK_DENSE_ELEMS,
         split_nnz: int = DEFAULT_SPLIT_NNZ,
         max_split: int = DEFAULT_MAX_SPLIT,
+        processes: Optional[int] = None,
+        shards: Optional[int] = None,
+        shard_min_nnz: int = DEFAULT_SHARD_MIN_NNZ,
+        worker_start_method: Optional[str] = None,
+        worker_timeout: Optional[float] = None,
+        worker_matrix_cache: int = 16,
     ) -> None:
         self.num_threads = num_threads or available_threads()
         self.autotune = autotune
@@ -181,6 +222,17 @@ class KernelRuntime:
         self.pack_dense_elems = pack_dense_elems
         self.split_nnz = split_nnz
         self.max_split = max_split
+        # ``shards=N`` without ``processes=`` implies an N-worker pool.
+        self.processes = int(processes or 0)
+        if self.processes == 0 and shards:
+            self.processes = int(shards)
+        self.shards = int(shards or self.processes)
+        self.shard_min_nnz = shard_min_nnz
+        self.worker_start_method = worker_start_method
+        self.worker_timeout = worker_timeout
+        self.worker_matrix_cache = worker_matrix_cache
+        self._workers: Optional[WorkerPool] = None
+        self._workers_lock = threading.Lock()
         self._cache = PlanCache(cache_size)
         # Matrix-independent dispatch configs for one-shot batch requests
         # (unbounded is fine: one entry per pattern/backend/blocking tuple).
@@ -197,6 +249,8 @@ class KernelRuntime:
             "split_jobs": 0,
             "single_jobs": 0,
             "submitted": 0,
+            "sharded_jobs": 0,
+            "sharded_submitted": 0,
         }
         self._closed = False
 
@@ -216,13 +270,34 @@ class KernelRuntime:
                 )
             return self._pool
 
+    @property
+    def workers(self) -> Optional[WorkerPool]:
+        """The sharded-tier worker pool (created lazily; ``None`` when
+        ``processes=0`` or after :meth:`close`)."""
+        if self.processes <= 0:
+            return None
+        with self._workers_lock:
+            if self._workers is None and not self._closed:
+                self._workers = WorkerPool(
+                    self.processes,
+                    start_method=self.worker_start_method,
+                    timeout=self.worker_timeout,
+                    matrix_cache=self.worker_matrix_cache,
+                )
+            return self._workers
+
     def close(self) -> None:
-        """Shut down the shared pool; the runtime stays usable sequentially."""
+        """Shut down the shared pool and the worker processes; the runtime
+        stays usable sequentially (in-process)."""
         with self._pool_lock:
             self._closed = True
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
+        with self._workers_lock:
+            if self._workers is not None:
+                self._workers.close()
+                self._workers = None
 
     def __enter__(self) -> "KernelRuntime":
         return self
@@ -231,11 +306,17 @@ class KernelRuntime:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
-        # Reclaim pool threads when a runtime owner (e.g. an app instance)
-        # is garbage collected without calling close().
+        # Reclaim pool threads and worker processes when a runtime owner
+        # (e.g. an app instance) is garbage collected without close().
         pool = getattr(self, "_pool", None)
         if pool is not None:
             pool.shutdown(wait=False)
+        workers = getattr(self, "_workers", None)
+        if workers is not None:
+            try:
+                workers.close()
+            except Exception:
+                pass
 
     # ------------------------------------------------------------------ #
     # Planning
@@ -314,13 +395,147 @@ class KernelRuntime:
         """
         nsplit = max(1, min(self.max_split, -(-A.nnz // max(self.split_nnz, 1))))
         if nsplit > 1 and plan.supports_parts:
+            parts = part1d(A, nsplit)
+            if self._sharding_eligible(plan, A):
+                Z = self._execute_plan_sharded(
+                    plan, A, X, Y, parts=parts, keep=False
+                )
+                if Z is not None:
+                    return Z
             self._bump("split_jobs")
             pool = self.pool
             return plan.execute(
-                A, X, Y, parts=part1d(A, nsplit), pool=pool,
+                A, X, Y, parts=parts, pool=pool,
                 num_threads=nsplit if pool is not None else 1,
             )
         return plan.execute(A, X, Y, num_threads=1)
+
+    # ------------------------------------------------------------------ #
+    # Sharded (multi-process) execution
+    # ------------------------------------------------------------------ #
+    def _sharding_eligible(self, plan: KernelPlan, A) -> bool:
+        """Whether a *streaming* call may route through the worker pool."""
+        return (
+            self.processes > 0
+            and plan.supports_parts
+            and A.nnz >= self.shard_min_nnz
+        )
+
+    def _execute_plan_auto(self, plan: KernelPlan, A, X, Y) -> np.ndarray:
+        """Epoch-stream execution: sharded tier when enabled and worthwhile,
+        the in-process path otherwise — bitwise identical either way."""
+        if self._sharding_eligible(plan, A):
+            Z = self._execute_plan_sharded(plan, A, X, Y)
+            if Z is not None:
+                return Z
+        return self._execute_plan(plan, A, X, Y)
+
+    def _prepare_sharded(
+        self,
+        plan: KernelPlan,
+        A,
+        *,
+        shards: Optional[int] = None,
+        parts=None,
+    ):
+        """Everything a sharded dispatch needs, or ``None`` when the tier
+        cannot take the job (no pool, unpicklable pattern) and the caller
+        must fall back to the in-process path.
+
+        Shared by the sync and async entry points so their scheduling can
+        never drift apart.  Operands are *not* copied here — the pool
+        detects ``Y is X`` aliasing on the original objects and copies
+        exactly once into shared memory.
+        """
+        workers = self.workers
+        if workers is None or not plan.supports_parts:
+            return None
+        spec = plan_spec_from_plan(plan)
+        if spec is None:
+            return None
+        A = as_csr(A)
+        partitions = plan.partitions if parts is None else parts
+        nshards = self.shards if shards is None else int(shards)
+        nshards = max(1, min(nshards, workers.processes))
+        shard_plan = assign_shards(partitions, nshards)
+        key = plan.key.fingerprint if parts is None else matrix_fingerprint(A)
+        return workers, key, A, spec, shard_plan
+
+    def _execute_plan_sharded(
+        self,
+        plan: KernelPlan,
+        A,
+        X,
+        Y,
+        *,
+        shards: Optional[int] = None,
+        parts=None,
+        keep: bool = True,
+    ) -> Optional[np.ndarray]:
+        """Fan a plan's partitions out over the worker processes.
+
+        Returns ``None`` when the sharded tier cannot take the job so
+        callers fall back to the in-process path.  The partitions — the
+        plan's own, or the ``parts`` computed for a derived matrix — are
+        grouped by :func:`assign_shards`; results are bitwise identical to
+        the in-process execution because both run the same partitions with
+        the same resolved kernel.
+        """
+        prep = self._prepare_sharded(plan, A, shards=shards, parts=parts)
+        if prep is None:
+            return None
+        workers, key, A, spec, shard_plan = prep
+        self._bump("sharded_jobs")
+        return workers.run_sharded(key, A, spec, shard_plan, X, Y, keep=keep)
+
+    def shard_plan(self, A, *, shards: Optional[int] = None, **plan_opts) -> ShardPlan:
+        """The shard assignment a sharded call on ``A`` would use."""
+        plan = self.plan(A, **plan_opts)
+        nshards = self.shards if shards is None else int(shards)
+        nshards = max(1, min(nshards, self.processes or nshards))
+        return assign_shards(plan.partitions, nshards)
+
+    def run_sharded(
+        self, A, X=None, Y=None, *, shards: Optional[int] = None, **plan_opts
+    ) -> np.ndarray:
+        """One-shot planned execution through the multi-process tier.
+
+        Bitwise identical to :meth:`run` (and to sequential
+        :func:`~repro.core.fused.fusedmm`); falls back to the in-process
+        path when the runtime has no worker pool (``processes=0``) or the
+        pattern cannot cross a process boundary.
+        """
+        self._bump("requests")
+        plan = self.plan(A, **plan_opts)
+        Z = self._execute_plan_sharded(plan, A, X, Y, shards=shards)
+        if Z is None:
+            return self._execute_plan(plan, A, X, Y)
+        return Z
+
+    def submit_sharded(
+        self, A, X=None, Y=None, *, shards: Optional[int] = None, **plan_opts
+    ) -> "Future[np.ndarray]":
+        """Asynchronous :meth:`run_sharded`; returns a future.
+
+        Planning happens on the caller thread (cache accounting stays
+        ordered); dispatch and gather run on the worker pool's background
+        dispatcher.  Without a worker pool the request executes
+        synchronously and a completed future is returned.
+        """
+        self._bump("requests")
+        self._bump("sharded_submitted")
+        plan = self.plan(A, **plan_opts)
+        prep = self._prepare_sharded(plan, A, shards=shards)
+        if prep is None:
+            fut: "Future[np.ndarray]" = Future()
+            try:
+                fut.set_result(self._execute_plan(plan, A, X, Y))
+            except BaseException as exc:  # pragma: no cover - propagated
+                fut.set_exception(exc)
+            return fut
+        workers, key, A, spec, shard_plan = prep
+        self._bump("sharded_jobs")
+        return workers.submit_sharded(key, A, spec, shard_plan, X, Y, keep=True)
 
     def run(self, A, X=None, Y=None, **plan_opts) -> np.ndarray:
         """One-shot planned execution: ``Z = FusedMM(A, X, Y)``.
@@ -554,10 +769,15 @@ class KernelRuntime:
         """Runtime-wide counters + plan-cache stats (for logs/monitoring)."""
         with self._stats_lock:
             counters = dict(self._counters)
+        with self._workers_lock:
+            workers = self._workers
         return {
             "plan_cache": self.cache_stats().as_dict(),
             "num_threads": self.num_threads,
             "pool_active": self._pool is not None,
+            "processes": self.processes,
+            "shards": self.shards,
+            "workers": None if workers is None else workers.stats(),
             **counters,
         }
 

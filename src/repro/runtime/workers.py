@@ -1,0 +1,705 @@
+"""Persistent multi-process worker pool for sharded kernel execution.
+
+:class:`WorkerPool` owns N long-lived ``multiprocessing`` worker processes
+and the shared-memory segments they read.  The design goals, in order:
+
+* **Ship the matrix once.**  A CSR matrix is placed in
+  :mod:`multiprocessing.shared_memory` segments (``indptr``, ``indices``,
+  ``data``) the first time it is used and workers attach zero-copy; every
+  subsequent ``run``/``submit`` on the same matrix sends only segment
+  names and row ranges — the adjacency is never re-pickled.
+* **Plan once per worker.**  Workers cache their resolved dispatch configs
+  keyed by (pattern, backend, block size, strategy), so repeated calls skip
+  pattern resolution and backend dispatch exactly as the parent's plan
+  cache does.
+* **Fail loudly, never hang.**  The parent polls worker liveness while
+  waiting for replies: a crashed worker (OOM kill, segfault, ``kill -9``)
+  raises :class:`~repro.errors.WorkerCrashError` promptly and the pool
+  respawns the dead worker so later calls still work.
+
+Operands ``X``/``Y`` change per call and are passed through per-call
+shared-memory segments as well (one bulk copy each, no pickling); every
+worker writes its shard's rows into a disjoint slice of one shared output
+buffer, mirroring how threads write disjoint slices of ``Z`` in the
+single-process runtime.
+
+Known trade-off: each worker's kernel call allocates a full ``(nrows, d)``
+output internally (the kernels have no ``out=``/row-offset surface) even
+though only the shard's rows are copied out, so transient output memory
+scales with the shard count.  Executing on a row-sliced matrix instead
+would shift the edge-block grid and break bitwise identity with the
+single-process kernel — shaving the allocation needs an output-offset
+parameter threaded through the kernels, not a slice.
+
+The protocol is deliberately tiny — four message types over one duplex
+pipe per worker::
+
+    ("load", key, csr_meta)                    attach + cache a shared CSR
+    ("drop", key)                              release a cached CSR
+    ("run",  key, spec, x, y, z, parts)        execute assigned partitions
+    ("exit",)                                  leave the loop
+
+with replies ``("ok", payload)`` or ``("err", traceback_text)``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import threading
+import traceback
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.partition import RowPartition
+from ..errors import WorkerCrashError, WorkerError
+from ..sparse import CSRMatrix
+from .shard import ShardPlan
+
+__all__ = ["WorkerPool", "default_start_method", "plan_spec_from_plan"]
+
+#: Seconds between liveness checks while waiting for a worker reply.
+_POLL_INTERVAL = 0.05
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap, inherits the imported package),
+    ``spawn`` otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def plan_spec_from_plan(plan) -> Optional[Dict[str, object]]:
+    """The picklable execution spec of a :class:`~repro.runtime.plan.KernelPlan`.
+
+    Workers rebuild the dispatch config from this spec; the parent resolves
+    everything data-dependent (autotuned block size, the row/edge strategy
+    choice) *before* shipping, so every worker executes exactly the kernel a
+    single-process call would.  Returns ``None`` when the pattern cannot be
+    pickled (user-supplied lambda operators) — callers fall back to
+    in-process execution.
+    """
+    spec = {
+        "op_pattern": plan.op_pattern,
+        "backend": plan.backend,
+        "block_size": plan.block_size,
+        "strategy": plan.strategy,
+    }
+    try:
+        pickle.dumps(spec["op_pattern"])
+    except Exception:
+        return None
+    return spec
+
+
+# ---------------------------------------------------------------------- #
+# Shared-memory plumbing
+# ---------------------------------------------------------------------- #
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without re-registering it for cleanup.
+
+    The parent owns every segment's lifetime (it created and will unlink
+    it).  Python 3.13 can opt out of tracking with ``track=False``; on
+    older versions the attach-side registration lands in the same resource
+    tracker the parent already registered the name with, which is a
+    harmless duplicate — workers must *not* unregister it, or the parent's
+    later unlink would race the tracker.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13 path (exercised in CI)
+        return shared_memory.SharedMemory(name=name)
+
+
+class _SharedArray:
+    """Parent-side owner of one ndarray in a shared-memory segment."""
+
+    def __init__(self, array: np.ndarray) -> None:
+        array = np.ascontiguousarray(array)
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=max(int(array.nbytes), 1)
+        )
+        self.meta = {
+            "name": self.shm.name,
+            "shape": tuple(array.shape),
+            "dtype": array.dtype.str,
+        }
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=self.shm.buf)
+        view[...] = array
+
+    @classmethod
+    def empty(cls, shape: Tuple[int, ...], dtype) -> "_SharedArray":
+        self = cls.__new__(cls)
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        self.shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        self.meta = {"name": self.shm.name, "shape": tuple(shape), "dtype": dtype.str}
+        return self
+
+    def ndarray(self) -> np.ndarray:
+        return np.ndarray(
+            self.meta["shape"], dtype=np.dtype(self.meta["dtype"]), buffer=self.shm.buf
+        )
+
+    def destroy(self) -> None:
+        try:
+            self.shm.close()
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+def _array_meta_to_ndarray(meta, segments: List[shared_memory.SharedMemory]):
+    """Worker-side view of a parent array; appends the segment for cleanup."""
+    shm = _attach(meta["name"])
+    segments.append(shm)
+    return np.ndarray(meta["shape"], dtype=np.dtype(meta["dtype"]), buffer=shm.buf)
+
+
+class _SharedCSR:
+    """Parent-side owner of one CSR matrix in shared memory (three segments)."""
+
+    def __init__(self, A: CSRMatrix) -> None:
+        self._indptr = _SharedArray(A.indptr)
+        self._indices = _SharedArray(A.indices)
+        self._data = _SharedArray(A.data)
+        self.meta = {
+            "nrows": A.nrows,
+            "ncols": A.ncols,
+            "indptr": self._indptr.meta,
+            "indices": self._indices.meta,
+            "data": self._data.meta,
+        }
+
+    def destroy(self) -> None:
+        for seg in (self._indptr, self._indices, self._data):
+            seg.destroy()
+
+
+# ---------------------------------------------------------------------- #
+# Worker process
+# ---------------------------------------------------------------------- #
+def _worker_build_config(spec: Dict[str, object]):
+    """Rebuild the dispatch config a run spec describes (worker side)."""
+    from .plan import make_config
+
+    op_pattern = spec["op_pattern"]
+    return make_config(
+        op_pattern,
+        op_pattern.resolved(),
+        backend=spec["backend"],
+        block_size=spec["block_size"],
+        strategy=spec["strategy"],
+        num_threads=1,
+    )
+
+
+def _worker_main(conn) -> None:  # pragma: no cover - runs in child processes
+    """Worker loop: attach matrices, cache configs, execute shards."""
+    matrices: Dict[str, Tuple[CSRMatrix, List[shared_memory.SharedMemory]]] = {}
+    configs: Dict[tuple, object] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            cmd = msg[0]
+            if cmd == "exit":
+                conn.send(("ok", None))
+                break
+            elif cmd == "ping":
+                conn.send(("ok", "pong"))
+            elif cmd == "load":
+                _, key, meta = msg
+                if key not in matrices:
+                    segments: List[shared_memory.SharedMemory] = []
+                    indptr = _array_meta_to_ndarray(meta["indptr"], segments)
+                    indices = _array_meta_to_ndarray(meta["indices"], segments)
+                    data = _array_meta_to_ndarray(meta["data"], segments)
+                    A = CSRMatrix(
+                        meta["nrows"], meta["ncols"], indptr, indices, data, check=False
+                    )
+                    matrices[key] = (A, segments)
+                conn.send(("ok", None))
+            elif cmd == "drop":
+                _, key = msg
+                entry = matrices.pop(key, None)
+                if entry is not None:
+                    A, segments = entry
+                    del A
+                    for shm in segments:
+                        try:
+                            shm.close()
+                        except BufferError:
+                            pass
+                conn.send(("ok", None))
+            elif cmd == "run":
+                _, key, spec, x_meta, y_meta, z_meta, raw_parts = msg
+                A, _segs = matrices[key]
+                from .plan import pattern_key
+
+                cfg_key = (
+                    pattern_key(spec["op_pattern"].resolved()),
+                    spec["backend"],
+                    spec["block_size"],
+                    spec["strategy"],
+                )
+                cfg = configs.get(cfg_key)
+                if cfg is None:
+                    cfg = _worker_build_config(spec)
+                    configs[cfg_key] = cfg
+                ephemeral: List[shared_memory.SharedMemory] = []
+                try:
+                    X = (
+                        None
+                        if x_meta is None
+                        else _array_meta_to_ndarray(x_meta, ephemeral)
+                    )
+                    if y_meta == "same_as_x":
+                        Y = X
+                    elif y_meta is None:
+                        Y = None
+                    else:
+                        Y = _array_meta_to_ndarray(y_meta, ephemeral)
+                    Z_out = _array_meta_to_ndarray(z_meta, ephemeral)
+                    parts = [RowPartition(*p) for p in raw_parts]
+                    Z = cfg.execute(
+                        A,
+                        X,
+                        Y,
+                        parts=parts,
+                        num_threads=1,
+                        block_size=spec["block_size"],
+                        strategy=spec["strategy"],
+                    )
+                    for p in parts:
+                        Z_out[p.start : p.stop] = Z[p.start : p.stop]
+                    del X, Y, Z, Z_out
+                finally:
+                    for shm in ephemeral:
+                        try:
+                            shm.close()
+                        except BufferError:
+                            pass
+                conn.send(("ok", None))
+            else:
+                conn.send(("err", f"unknown command {cmd!r}"))
+        except Exception:
+            try:
+                conn.send(("err", traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                break
+
+
+# ---------------------------------------------------------------------- #
+# Parent-side pool
+# ---------------------------------------------------------------------- #
+class WorkerPool:
+    """A fixed-size pool of persistent kernel worker processes.
+
+    Parameters
+    ----------
+    processes:
+        Number of worker processes (at least 1).
+    start_method:
+        ``multiprocessing`` start method; default
+        :func:`default_start_method` (``fork`` on Linux).
+    timeout:
+        Optional per-call ceiling in seconds while waiting for a worker
+        reply; ``None`` waits indefinitely (liveness is still polled, so a
+        *dead* worker raises promptly either way).  A timed-out worker is
+        restarted — its late reply must never desynchronise the pipe.
+    matrix_cache:
+        Maximum number of matrices kept registered in shared memory at
+        once (LRU-evicted beyond that), bounding ``/dev/shm`` usage in
+        long-running serving loops over many distinct adjacencies.
+    """
+
+    def __init__(
+        self,
+        processes: int,
+        *,
+        start_method: Optional[str] = None,
+        timeout: Optional[float] = None,
+        matrix_cache: int = 16,
+    ) -> None:
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        if matrix_cache < 1:
+            raise ValueError(f"matrix_cache must be >= 1, got {matrix_cache}")
+        self.processes = processes
+        self.timeout = timeout
+        self.matrix_cache = matrix_cache
+        self._ctx = multiprocessing.get_context(start_method or default_start_method())
+        self._procs: List[Optional[multiprocessing.Process]] = [None] * processes
+        self._conns: List[Optional[object]] = [None] * processes
+        self._loaded: List[Set[str]] = [set() for _ in range(processes)]
+        self._matrices: "OrderedDict[str, _SharedCSR]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._dispatcher: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+        self.restarts = 0
+        # Start the shared-memory resource tracker *before* forking: workers
+        # must inherit the parent's tracker, or each would lazily spawn its
+        # own on first attach — and a worker-private tracker unlinks every
+        # segment it saw (including still-registered matrices) as soon as
+        # that worker exits.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - platform without the tracker
+            pass
+        for i in range(processes):
+            self._spawn(i)
+
+    # ------------------------------------------------------------------ #
+    def _spawn(self, i: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            name=f"repro-shard-{i}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._procs[i] = proc
+        self._conns[i] = parent_conn
+        self._loaded[i] = set()
+
+    def _restart(self, i: int) -> None:
+        proc, conn = self._procs[i], self._conns[i]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if proc is not None:
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+            proc.join(timeout=1.0)
+        self.restarts += 1
+        self._spawn(i)
+
+    # ------------------------------------------------------------------ #
+    def _send(self, i: int, msg: tuple) -> None:
+        conn, proc = self._conns[i], self._procs[i]
+        try:
+            conn.send(msg)
+        except (BrokenPipeError, OSError):
+            raise WorkerCrashError(
+                f"shard worker {i} (pid {getattr(proc, 'pid', '?')}) died "
+                "before the request could be sent"
+            )
+
+    def _recv(self, i: int):
+        """Wait for worker ``i``'s reply, polling liveness so a crashed
+        worker raises instead of hanging."""
+        conn, proc = self._conns[i], self._procs[i]
+        waited = 0.0
+        while not conn.poll(_POLL_INTERVAL):
+            waited += _POLL_INTERVAL
+            if not proc.is_alive():
+                raise WorkerCrashError(
+                    f"shard worker {i} (pid {proc.pid}) crashed with exit code "
+                    f"{proc.exitcode} while executing a request"
+                )
+            if self.timeout is not None and waited >= self.timeout:
+                # The worker is alive but late.  Its eventual reply would
+                # desynchronise the request/reply framing (the next call
+                # would consume this call's stale reply), so replace the
+                # worker before raising.
+                self._restart(i)
+                raise WorkerError(
+                    f"shard worker {i} (pid {proc.pid}) did not reply within "
+                    f"{self.timeout:.1f}s; the worker was restarted"
+                )
+        try:
+            status, payload = conn.recv()
+        except (EOFError, OSError):
+            raise WorkerCrashError(
+                f"shard worker {i} (pid {proc.pid}) closed its pipe mid-reply"
+            )
+        if status == "err":
+            raise WorkerError(f"shard worker {i} failed:\n{payload}")
+        return payload
+
+    def _broadcast(self, workers: Sequence[int], msg: tuple) -> None:
+        """Send one message to several workers and collect every reply,
+        restarting any worker that crashed before re-raising."""
+        sent: List[int] = []
+        first_error: Optional[BaseException] = None
+        crashed: List[int] = []
+        for i in workers:
+            try:
+                self._send(i, msg)
+                sent.append(i)
+            except WorkerCrashError as exc:
+                crashed.append(i)
+                first_error = first_error or exc
+        for i in sent:
+            try:
+                self._recv(i)
+            except WorkerCrashError as exc:
+                crashed.append(i)
+                first_error = first_error or exc
+            except WorkerError as exc:
+                first_error = first_error or exc
+        for i in crashed:
+            self._restart(i)
+        if first_error is not None:
+            raise first_error
+
+    # ------------------------------------------------------------------ #
+    # Matrix registry
+    # ------------------------------------------------------------------ #
+    def register_matrix(self, key: str, A: CSRMatrix) -> None:
+        """Place ``A`` in shared memory under ``key`` (idempotent).
+
+        The registry is a bounded LRU: registering beyond ``matrix_cache``
+        evicts the least-recently-used matrix (workers drop it, segments
+        are unlinked), so serving loops over many distinct adjacencies
+        cannot exhaust ``/dev/shm``.
+        """
+        with self._lock:
+            self._check_open()
+            if key in self._matrices:
+                self._matrices.move_to_end(key)
+                return
+            self._matrices[key] = _SharedCSR(A)
+            while len(self._matrices) > self.matrix_cache:
+                oldest = next(iter(self._matrices))
+                self.release_matrix(oldest)
+
+    def release_matrix(self, key: str) -> None:
+        """Drop ``key`` from every worker and unlink its segments."""
+        with self._lock:
+            shared = self._matrices.pop(key, None)
+            if shared is None:
+                return
+            holders = [i for i in range(self.processes) if key in self._loaded[i]]
+            for i in holders:
+                self._loaded[i].discard(key)
+            try:
+                self._broadcast(holders, ("drop", key))
+            finally:
+                shared.destroy()
+
+    def _ensure_loaded(self, workers: Sequence[int], key: str) -> None:
+        shared = self._matrices[key]
+        missing = [i for i in workers if key not in self._loaded[i]]
+        if missing:
+            self._broadcast(missing, ("load", key, shared.meta))
+            for i in missing:
+                self._loaded[i].add(key)
+
+    @property
+    def registered_matrices(self) -> int:
+        """Number of matrices currently held in shared memory."""
+        with self._lock:
+            return len(self._matrices)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run_sharded(
+        self,
+        key: str,
+        A: CSRMatrix,
+        spec: Dict[str, object],
+        shard_plan: ShardPlan,
+        X: Optional[np.ndarray],
+        Y: Optional[np.ndarray],
+        *,
+        keep: bool = True,
+    ) -> np.ndarray:
+        """Execute one kernel call, its shards fanned out over the workers.
+
+        ``shard_plan.num_shards`` must not exceed the pool size; shard ``s``
+        runs on worker ``s``.  With ``keep=False`` the matrix's shared
+        segments are torn down right after the call (one-shot matrices,
+        e.g. sampled negatives).
+        """
+        if shard_plan.num_shards > self.processes:
+            raise WorkerError(
+                f"shard plan wants {shard_plan.num_shards} shards but the "
+                f"pool has only {self.processes} workers"
+            )
+        with self._lock:
+            self._check_open()
+            self.register_matrix(key, A)
+            busy = [a.shard for a in shard_plan.assignments if a.parts]
+            try:
+                self._ensure_loaded(busy, key)
+
+                d = X.shape[1] if X is not None else Y.shape[1]
+                if X is not None:
+                    out_dtype = X.dtype
+                elif np.issubdtype(Y.dtype, np.floating):
+                    out_dtype = Y.dtype
+                else:  # pragma: no cover - integer Y normalised by kernels
+                    out_dtype = np.dtype(np.float32)
+
+                ephemeral: List[_SharedArray] = []
+                try:
+                    x_meta = None
+                    if X is not None:
+                        shared_x = _SharedArray(X)
+                        ephemeral.append(shared_x)
+                        x_meta = shared_x.meta
+                    if Y is None:
+                        y_meta = None
+                    elif X is not None and Y is X:
+                        y_meta = "same_as_x"
+                    else:
+                        shared_y = _SharedArray(Y)
+                        ephemeral.append(shared_y)
+                        y_meta = shared_y.meta
+                    shared_z = _SharedArray.empty((A.nrows, d), out_dtype)
+                    ephemeral.append(shared_z)
+
+                    sent: List[int] = []
+                    first_error: Optional[BaseException] = None
+                    crashed: List[int] = []
+                    for a in shard_plan.assignments:
+                        if not a.parts:
+                            continue
+                        raw_parts = [(p.start, p.stop, p.nnz) for p in a.parts]
+                        msg = (
+                            "run",
+                            key,
+                            spec,
+                            x_meta,
+                            y_meta,
+                            shared_z.meta,
+                            raw_parts,
+                        )
+                        try:
+                            self._send(a.shard, msg)
+                            sent.append(a.shard)
+                        except WorkerCrashError as exc:
+                            crashed.append(a.shard)
+                            first_error = first_error or exc
+                    for i in sent:
+                        try:
+                            self._recv(i)
+                        except WorkerCrashError as exc:
+                            crashed.append(i)
+                            first_error = first_error or exc
+                        except WorkerError as exc:
+                            first_error = first_error or exc
+                    for i in crashed:
+                        self._restart(i)
+                    if first_error is not None:
+                        raise first_error
+                    return np.array(shared_z.ndarray(), copy=True)
+                finally:
+                    for seg in ephemeral:
+                        seg.destroy()
+            finally:
+                if not keep:
+                    self.release_matrix(key)
+
+    def submit_sharded(self, *args, **kwargs) -> "Future[np.ndarray]":
+        """Asynchronous :meth:`run_sharded`; returns a future.
+
+        Dispatch happens on a single background thread, so async and
+        synchronous calls are serialised onto the same worker pipes.
+        """
+        with self._lock:
+            self._check_open()
+            if self._dispatcher is None:
+                self._dispatcher = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-shard-dispatch"
+                )
+            return self._dispatcher.submit(self.run_sharded, *args, **kwargs)
+
+    def ping(self) -> int:
+        """Round-trip every worker; returns the number that answered."""
+        with self._lock:
+            self._check_open()
+            self._broadcast(list(range(self.processes)), ("ping",))
+            return self.processes
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _check_open(self) -> None:
+        if self._closed:
+            raise WorkerError("worker pool is closed")
+
+    def stats(self) -> Dict[str, object]:
+        """Pool accounting for logs and tests."""
+        with self._lock:
+            return {
+                "processes": self.processes,
+                "alive": sum(
+                    1 for p in self._procs if p is not None and p.is_alive()
+                ),
+                "restarts": self.restarts,
+                "registered_matrices": len(self._matrices),
+            }
+
+    def kill_worker(self, i: int) -> None:
+        """Hard-kill worker ``i`` (crash-handling tests only)."""
+        proc = self._procs[i]
+        if proc is not None and proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5.0)
+
+    def close(self) -> None:
+        """Shut down workers and unlink every shared segment."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._dispatcher is not None:
+                self._dispatcher.shutdown(wait=True)
+                self._dispatcher = None
+            for i, (proc, conn) in enumerate(zip(self._procs, self._conns)):
+                if conn is None or proc is None:
+                    continue
+                try:
+                    if proc.is_alive():
+                        conn.send(("exit",))
+                        if conn.poll(1.0):
+                            conn.recv()
+                except (BrokenPipeError, OSError):
+                    pass
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                proc.join(timeout=1.0)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+                self._procs[i] = None
+                self._conns[i] = None
+            for shared in self._matrices.values():
+                shared.destroy()
+            self._matrices.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WorkerPool(processes={self.processes}, "
+            f"matrices={len(self._matrices)}, restarts={self.restarts})"
+        )

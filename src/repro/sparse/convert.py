@@ -10,7 +10,7 @@ experiments) can stay format-agnostic.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Tuple
+from typing import Any, Tuple
 
 import numpy as np
 

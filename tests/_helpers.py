@@ -10,8 +10,6 @@ claims the module name).  Test modules import helpers from here;
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.graphs import random_features
 from repro.sparse import CSRMatrix
 

@@ -18,7 +18,7 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro.graphs import random_features  # noqa: E402
-from repro.sparse import CSRMatrix, COOMatrix, random_csr  # noqa: E402
+from repro.sparse import CSRMatrix, random_csr  # noqa: E402
 
 
 @pytest.fixture

@@ -20,7 +20,7 @@ from repro.apps import (
     train_test_split_indices,
 )
 from repro.errors import BackendError, ShapeError
-from repro.graphs import Graph, load_dataset
+from repro.graphs import Graph
 from repro.graphs.generators import stochastic_block_model
 from repro.sparse import random_csr
 

@@ -13,9 +13,9 @@ from repro.apps import (
     normalize_adjacency,
 )
 from repro.errors import BackendError, ShapeError
-from repro.graphs import Graph, degree_features, one_hot_labels, regular_grid
+from repro.graphs import Graph, one_hot_labels, regular_grid
 from repro.graphs.generators import stochastic_block_model
-from repro.sparse import CSRMatrix, random_csr
+from repro.sparse import random_csr
 
 
 @pytest.fixture(scope="module")

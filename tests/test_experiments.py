@@ -5,7 +5,6 @@ assertions check the *structure* of the results (the expected columns and
 the qualitative relationships the paper reports), not absolute timings.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (
@@ -21,7 +20,7 @@ from repro.experiments import (
     table7_spmm_mkl,
     table8_end2end,
 )
-from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.registry import get_experiment, list_experiments
 
 
 def test_table5_rows_match_registry():

@@ -5,7 +5,6 @@ the way the examples and experiments do, on sizes small enough for CI.
 """
 
 import numpy as np
-import pytest
 
 from repro import FusedMM, fusedmm
 from repro.apps import (
@@ -18,7 +17,7 @@ from repro.apps import (
     evaluate_embeddings,
 )
 from repro.baselines import unfused_fusedmm
-from repro.graphs import Graph, load_dataset, one_hot_labels, random_features
+from repro.graphs import load_dataset, one_hot_labels, random_features
 from repro.perf import fusedmm_memory_bytes, time_kernel
 from repro.sparse import write_matrix_market, read_matrix_market
 

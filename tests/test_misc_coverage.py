@@ -3,7 +3,6 @@ generic-timing path of the harness, dataset seed overrides, codegen edge
 cases, and the measured-allocation ordering behind Fig. 10(b)."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import unfused_fusedmm
 from repro.bench.harness import GENERIC_TIMING_MAX_NNZ, compare_kernels

@@ -3,14 +3,12 @@ machine model, scaling)."""
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.core import sigmoid_embedding_kernel
 from repro.graphs import random_features
 from repro.perf import (
     MACHINES,
-    MachineProfile,
     Stopwatch,
     Timing,
     arithmetic_intensity,

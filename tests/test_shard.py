@@ -1,0 +1,399 @@
+"""Tests for the sharded multi-process execution tier.
+
+Covers the three contracts the tier advertises:
+
+* **Bitwise equivalence** — ``run_sharded``/``submit_sharded``/epoch
+  streams produce results bitwise identical to sequential single-process
+  ``fusedmm`` for 1, 2 and 4 shards, across patterns and the X-less SpMM
+  path.
+* **Crash safety** — a hard-killed worker raises
+  :class:`~repro.errors.WorkerCrashError` promptly (never a hang), the
+  pool respawns the worker, and subsequent calls succeed; in-worker
+  exceptions surface as :class:`~repro.errors.WorkerError` with the
+  worker still alive.
+* **Shard assignment is a partition** — a hypothesis property test checks
+  that :func:`~repro.runtime.shard.assign_shards` never loses, duplicates
+  or reorders a plan partition.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fused import fusedmm
+from repro.core.partition import RowPartition, part1d
+from repro.errors import PartitionError, WorkerCrashError, WorkerError
+from repro.graphs import random_features, rmat
+from repro.runtime import KernelRuntime, WorkerPool, assign_shards
+from repro.sparse import random_csr
+
+from _helpers import make_xy
+
+PATTERNS = ["sigmoid_embedding", "fr_layout", "gcn", "spmm"]
+
+
+@pytest.fixture(scope="module")
+def medium_problem():
+    """A graph big enough to split into several plan partitions."""
+    A = rmat(1500, 24_000, seed=4)
+    X = random_features(A.nrows, 12, seed=2)
+    return A, X
+
+
+# ---------------------------------------------------------------------- #
+# Shard assignment (pure planning, no processes)
+# ---------------------------------------------------------------------- #
+def _partition_list(sizes):
+    """Build a contiguous RowPartition list from (num_rows, nnz) pairs."""
+    parts, start = [], 0
+    for num_rows, nnz in sizes:
+        parts.append(RowPartition(start=start, stop=start + num_rows, nnz=nnz))
+        start += num_rows
+    return parts
+
+
+@given(
+    sizes=st.lists(
+        st.tuples(st.integers(1, 50), st.integers(0, 10_000)), max_size=24
+    ),
+    num_shards=st.integers(1, 8),
+)
+@settings(max_examples=200, deadline=None)
+def test_assign_shards_is_a_partition(sizes, num_shards):
+    """No partition is lost, duplicated or reordered; shard metadata adds up."""
+    parts = _partition_list(sizes)
+    plan = assign_shards(parts, num_shards)
+    assert plan.num_shards == num_shards
+    assert len(plan.assignments) == num_shards
+    flattened = [p for a in plan.assignments for p in a.parts]
+    assert flattened == parts  # same objects, same order, nothing lost
+    assert plan.total_nnz == sum(p.nnz for p in parts)
+    for i, a in enumerate(plan.assignments):
+        assert a.shard == i
+        assert a.nnz == sum(p.nnz for p in a.parts)
+
+
+def test_assign_shards_balances_by_nnz():
+    parts = _partition_list([(10, 1000)] * 8)
+    plan = assign_shards(parts, 4)
+    assert [a.nnz for a in plan.assignments] == [2000] * 4
+    assert plan.balance() == 1.0
+    assert plan.busy_shards == 4
+
+
+def test_assign_shards_more_shards_than_parts():
+    parts = _partition_list([(10, 500), (10, 500)])
+    plan = assign_shards(parts, 4)
+    flattened = [p for a in plan.assignments for p in a.parts]
+    assert flattened == parts
+    assert plan.busy_shards <= 2
+
+
+def test_assign_shards_rejects_nonpositive():
+    with pytest.raises(PartitionError):
+        assign_shards([], 0)
+
+
+def test_assign_shards_empty_and_zero_nnz():
+    assert assign_shards([], 3).total_nnz == 0
+    parts = _partition_list([(5, 0), (5, 0), (5, 0)])
+    plan = assign_shards(parts, 2)
+    assert [p for a in plan.assignments for p in a.parts] == parts
+
+
+def test_runtime_shard_plan_reuses_plan_partitions(medium_problem):
+    A, _ = medium_problem
+    rt = KernelRuntime(num_threads=1)
+    plan = rt.plan(A)
+    shard_plan = rt.shard_plan(A, shards=2)
+    assert [p for a in shard_plan.assignments for p in a.parts] == list(
+        plan.partitions
+    )
+    info = shard_plan.describe()
+    assert info["num_shards"] == 2
+    assert sum(info["shard_nnz"]) == A.nnz
+
+
+# ---------------------------------------------------------------------- #
+# Bitwise equivalence across shard counts
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_run_sharded_bitwise_equals_fusedmm(shards, medium_problem):
+    A, X = medium_problem
+    ref = fusedmm(A, X, X, pattern="sigmoid_embedding", num_threads=1)
+    with KernelRuntime(num_threads=1, processes=shards) as rt:
+        Z = rt.run_sharded(A, X, pattern="sigmoid_embedding")
+        assert np.array_equal(Z, ref)
+        # Repeated call: matrix already in shared memory, plans cached.
+        assert np.array_equal(rt.run_sharded(A, X, pattern="sigmoid_embedding"), ref)
+        stats = rt.stats()
+        assert stats["sharded_jobs"] == 2
+        assert stats["workers"]["registered_matrices"] == 1
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_run_sharded_patterns_bitwise(pattern, medium_problem):
+    A, X = medium_problem
+    ref = fusedmm(A, X, X, pattern=pattern, num_threads=1)
+    with KernelRuntime(num_threads=1, processes=2) as rt:
+        assert np.array_equal(rt.run_sharded(A, X, pattern=pattern), ref)
+
+
+def test_run_sharded_spmm_without_x(medium_problem):
+    A, X = medium_problem
+    ref = KernelRuntime(num_threads=1).run(A, None, X, pattern="gcn")
+    with KernelRuntime(num_threads=1, processes=2) as rt:
+        assert np.array_equal(rt.run_sharded(A, None, X, pattern="gcn"), ref)
+
+
+def test_run_sharded_rectangular(medium_problem):
+    A = random_csr(300, 900, density=0.05, seed=8)
+    X, Y = make_xy(A, 8, seed=3)
+    ref = fusedmm(A, X, Y, pattern="sigmoid_embedding", num_threads=1)
+    with KernelRuntime(num_threads=1, processes=2) as rt:
+        assert np.array_equal(
+            rt.run_sharded(A, X, Y, pattern="sigmoid_embedding"), ref
+        )
+
+
+def test_submit_sharded_returns_future(medium_problem):
+    A, X = medium_problem
+    ref = fusedmm(A, X, X, pattern="sigmoid_embedding", num_threads=1)
+    with KernelRuntime(num_threads=1, processes=2) as rt:
+        futs = [rt.submit_sharded(A, X, pattern="sigmoid_embedding") for _ in range(3)]
+        for fut in futs:
+            assert np.array_equal(fut.result(timeout=60), ref)
+        assert rt.stats()["sharded_submitted"] == 3
+
+
+def test_run_sharded_without_processes_falls_back(medium_problem):
+    A, X = medium_problem
+    ref = fusedmm(A, X, X, pattern="sigmoid_embedding", num_threads=1)
+    rt = KernelRuntime(num_threads=1)  # processes=0
+    assert np.array_equal(rt.run_sharded(A, X, pattern="sigmoid_embedding"), ref)
+    assert rt.stats()["sharded_jobs"] == 0
+    fut = rt.submit_sharded(A, X, pattern="sigmoid_embedding")
+    assert np.array_equal(fut.result(timeout=30), ref)
+
+
+def test_shards_implies_processes():
+    rt = KernelRuntime(num_threads=1, shards=2)
+    assert rt.processes == 2
+    assert rt.shards == 2
+
+
+def test_epoch_stream_routes_through_shards(medium_problem):
+    A, X = medium_problem
+    ref = fusedmm(A, X, X, pattern="sigmoid_embedding", num_threads=1)
+    with KernelRuntime(num_threads=1, processes=2, shard_min_nnz=1000) as rt:
+        stream = rt.epochs(A, pattern="sigmoid_embedding")
+        assert np.array_equal(stream.step(X), ref)
+        assert rt.stats()["sharded_jobs"] == 1
+        # Derived matrices (run_on) go through the one-shot sharded path
+        # and their shared segments are torn down afterwards.
+        sub = A.row_slice(0, 1200)
+        ref_sub = fusedmm(sub, X[:1200], X, pattern="sigmoid_embedding", num_threads=1)
+        assert np.array_equal(stream.run_on(sub, X[:1200], X), ref_sub)
+        assert rt.stats()["workers"]["registered_matrices"] == 1
+
+
+def test_small_matrices_stay_in_process():
+    A = random_csr(60, 60, density=0.05, seed=3)
+    X = random_features(60, 8, seed=0)
+    with KernelRuntime(num_threads=1, processes=2) as rt:
+        stream = rt.epochs(A, pattern="sigmoid_embedding")
+        ref = fusedmm(A, X, X, pattern="sigmoid_embedding", num_threads=1)
+        assert np.array_equal(stream.step(X), ref)
+        # Below shard_min_nnz nothing was dispatched to workers …
+        assert rt.stats()["sharded_jobs"] == 0
+        # … and the pool was never even spawned (lazy creation).
+        assert rt.stats()["workers"] is None
+
+
+# ---------------------------------------------------------------------- #
+# Worker pool lifecycle and failure handling
+# ---------------------------------------------------------------------- #
+def test_worker_crash_raises_cleanly_and_pool_recovers(medium_problem):
+    A, X = medium_problem
+    ref = fusedmm(A, X, X, pattern="sigmoid_embedding", num_threads=1)
+    with KernelRuntime(num_threads=1, processes=2) as rt:
+        assert np.array_equal(rt.run_sharded(A, X, pattern="sigmoid_embedding"), ref)
+        rt.workers.kill_worker(0)
+        with pytest.raises(WorkerCrashError):
+            rt.run_sharded(A, X, pattern="sigmoid_embedding")
+        stats = rt.stats()["workers"]
+        assert stats["restarts"] >= 1
+        assert stats["alive"] == 2
+        # The respawned worker reloads the shared matrix and serves again.
+        assert np.array_equal(rt.run_sharded(A, X, pattern="sigmoid_embedding"), ref)
+
+
+def test_worker_exception_propagates_without_crash(medium_problem):
+    A, _ = medium_problem
+    X_bad = random_features(A.nrows + 5, 12, seed=0)  # wrong row count
+    with KernelRuntime(num_threads=1, processes=2) as rt:
+        with pytest.raises(WorkerError):
+            rt.run_sharded(A, X_bad, pattern="sigmoid_embedding")
+        stats = rt.stats()["workers"]
+        assert stats["alive"] == 2
+        assert stats["restarts"] == 0
+        X = random_features(A.nrows, 12, seed=1)
+        ref = fusedmm(A, X, X, pattern="sigmoid_embedding", num_threads=1)
+        assert np.array_equal(rt.run_sharded(A, X, pattern="sigmoid_embedding"), ref)
+
+
+def test_worker_pool_release_matrix(medium_problem):
+    A, X = medium_problem
+    with KernelRuntime(num_threads=1, processes=2) as rt:
+        rt.run_sharded(A, X, pattern="sigmoid_embedding")
+        pool = rt.workers
+        assert pool.registered_matrices == 1
+        key = rt.plan(A).key.fingerprint
+        pool.release_matrix(key)
+        assert pool.registered_matrices == 0
+        # Releasing twice is a no-op; the matrix reloads on demand.
+        pool.release_matrix(key)
+        ref = fusedmm(A, X, X, pattern="sigmoid_embedding", num_threads=1)
+        assert np.array_equal(rt.run_sharded(A, X, pattern="sigmoid_embedding"), ref)
+
+
+def test_worker_pool_matrix_lru_bounds_shared_memory():
+    """The matrix registry is a bounded LRU: registering beyond
+    ``matrix_cache`` evicts the least-recently-used matrix, and evicted
+    matrices transparently reload on their next use."""
+    mats = [random_csr(120, 120, density=0.08, seed=s) for s in range(3)]
+    X = random_features(120, 6, seed=0)
+    refs = [fusedmm(A, X, X, num_threads=1) for A in mats]
+    with KernelRuntime(
+        num_threads=1, processes=2, worker_matrix_cache=2
+    ) as rt:
+        for A in mats:
+            rt.run_sharded(A, X)
+        assert rt.workers.registered_matrices == 2
+        # mats[0] was evicted; running it again re-registers (and evicts
+        # the new LRU) with results still bitwise identical.
+        assert np.array_equal(rt.run_sharded(mats[0], X), refs[0])
+        assert rt.workers.registered_matrices == 2
+        for A, ref in zip(mats, refs):
+            assert np.array_equal(rt.run_sharded(A, X), ref)
+
+
+def test_bench_shard_speedup_baseline_is_one_shard_row():
+    """speedup_vs_1shard is anchored to the shards==1 row even when the
+    shard counts are listed out of order."""
+    from repro.bench.shard_bench import bench_shard_scaling
+
+    rows = bench_shard_scaling(
+        num_nodes=300, avg_degree=8, dim=8, repeats=1, shard_counts=(2, 1)
+    )
+    by_shards = {r["shards"]: r for r in rows}
+    assert by_shards[1]["speedup_vs_1shard"] == 1.0
+
+
+def test_worker_pool_ping_and_close():
+    pool = WorkerPool(2)
+    assert pool.ping() == 2
+    assert pool.stats()["alive"] == 2
+    pool.close()
+    pool.close()  # idempotent
+    with pytest.raises(WorkerError):
+        pool.ping()
+
+
+def test_worker_pool_rejects_oversized_shard_plan(medium_problem):
+    A, X = medium_problem
+    with KernelRuntime(num_threads=1, processes=2) as rt:
+        plan = rt.plan(A)
+        oversized = assign_shards(plan.partitions, 5)
+        from repro.runtime.workers import plan_spec_from_plan
+
+        spec = plan_spec_from_plan(plan)
+        with pytest.raises(WorkerError):
+            rt.workers.run_sharded(
+                plan.key.fingerprint, A, spec, oversized, X, X
+            )
+
+
+def test_runtime_close_shuts_workers_down(medium_problem):
+    A, X = medium_problem
+    rt = KernelRuntime(num_threads=1, processes=2)
+    rt.run_sharded(A, X, pattern="sigmoid_embedding")
+    rt.close()
+    assert rt.stats()["workers"] is None
+    # Closed runtimes stay usable in process.
+    ref = fusedmm(A, X, X, pattern="sigmoid_embedding", num_threads=1)
+    assert np.array_equal(rt.run_sharded(A, X, pattern="sigmoid_embedding"), ref)
+
+
+def test_unpicklable_pattern_falls_back_in_process(medium_problem):
+    """Custom patterns built from lambdas cannot cross process boundaries;
+    the sharded paths detect that and run in process instead of failing."""
+    A, X = medium_problem
+    from repro.core.operators import OpKind, Operator
+
+    sop = Operator(
+        name="CUSTOM_SCALE",
+        kinds=(OpKind.SOP,),
+        edge_fn=lambda s, *rest: 0.5 * s,
+        batch_fn=lambda s, *rest: 0.5 * s,
+    )
+    with KernelRuntime(num_threads=1, processes=2) as rt:
+        ref = KernelRuntime(num_threads=1).run(
+            A, X, pattern="sigmoid_embedding", sop=sop
+        )
+        Z = rt.run_sharded(A, X, pattern="sigmoid_embedding", sop=sop)
+        assert np.array_equal(Z, ref)
+        assert rt.stats()["sharded_jobs"] == 0
+
+
+def test_part1d_parts_survive_shard_roundtrip(medium_problem):
+    """The derived-matrix path ships recomputed part1d partitions; check the
+    (start, stop, nnz) wire format reconstructs them exactly."""
+    A, _ = medium_problem
+    parts = part1d(A, 6)
+    rebuilt = [RowPartition(*(p.start, p.stop, p.nnz)) for p in parts]
+    assert rebuilt == parts
+
+
+# ---------------------------------------------------------------------- #
+# Apps train through the sharded tier
+# ---------------------------------------------------------------------- #
+def test_apps_accept_processes_and_match_in_process():
+    """``processes=`` reaches the runtime, and sharded training produces
+    exactly the trajectory of in-process training (determinism carries
+    through the apps)."""
+    from repro.apps import FRLayout, FRLayoutConfig
+    from repro.graphs import Graph
+
+    A = rmat(1200, 20_000, seed=6)
+    graph = Graph(name="shardtest", adjacency=A)
+
+    def run_layout(processes):
+        layout = FRLayout(
+            graph,
+            FRLayoutConfig(
+                dim=2, iterations=2, repulsive_samples=2, seed=0,
+                processes=processes,
+            ),
+        )
+        # Exercise the sharded tier even for this mid-sized graph.
+        layout._runtime.shard_min_nnz = 1000
+        return layout.run()
+
+    baseline = run_layout(0)
+    sharded = run_layout(2)
+    assert np.array_equal(baseline, sharded)
+
+
+def test_app_configs_expose_processes():
+    from repro.apps import (
+        Force2VecConfig,
+        FRLayoutConfig,
+        GCNConfig,
+        VerseConfig,
+    )
+
+    for cfg_cls in (Force2VecConfig, FRLayoutConfig, GCNConfig, VerseConfig):
+        cfg = cfg_cls(processes=3)
+        assert cfg.processes == 3
