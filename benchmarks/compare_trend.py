@@ -1,0 +1,63 @@
+"""Compare BENCH_*.json records across commits and gate on regressions.
+
+Thin script wrapper over :mod:`repro.bench.trend` (also available as
+``python -m repro bench compare``).  Pass two files, or two directories of
+``BENCH_*.json`` records (matched by filename)::
+
+    PYTHONPATH=src python benchmarks/compare_trend.py benchmarks/baselines .
+    PYTHONPATH=src python benchmarks/compare_trend.py old/BENCH_runtime.json BENCH_runtime.json
+
+Exits non-zero when any tracked metric regressed by more than the
+threshold (default 15%); ``--no-fail`` reports only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench.trend import (  # noqa: E402
+    DEFAULT_MIN_SECONDS,
+    DEFAULT_THRESHOLD,
+    compare_paths,
+    render_report,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_*.json file or directory")
+    parser.add_argument("current", help="current BENCH_*.json file or directory")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional degradation before a metric counts as regressed",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="ignore wall-clock metrics whose baseline is below this (noise)",
+    )
+    parser.add_argument(
+        "--no-fail", action="store_true", help="report only; always exit 0"
+    )
+    args = parser.parse_args(argv)
+
+    report = compare_paths(
+        args.baseline,
+        args.current,
+        threshold=args.threshold,
+        min_seconds=args.min_seconds,
+    )
+    return render_report(report, threshold=args.threshold, no_fail=args.no_fail)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

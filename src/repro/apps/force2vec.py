@@ -35,6 +35,7 @@ import numpy as np
 
 from ..baselines.dense import dense_sigmoid_embedding, dense_spmm
 from ..baselines.unfused import unfused_fusedmm
+from ..core.fused import BACKENDS as KERNEL_BACKENDS
 from ..core.fused import fusedmm
 from ..errors import BackendError, ShapeError
 from ..graphs.features import random_features
@@ -64,6 +65,9 @@ class Force2VecConfig:
     negative_samples: int = 5
     seed: int = 0
     backend: str = "fused"
+    #: kernel backend of the fused path (:data:`repro.core.BACKENDS`):
+    #: "auto" prefers the Numba jit tier when importable
+    kernel_backend: str = "auto"
     num_threads: int = 1
     #: worker processes of the sharded execution tier (0 = in-process);
     #: see :mod:`repro.runtime.workers`
@@ -75,6 +79,11 @@ class Force2VecConfig:
         if self.backend not in EMBEDDING_BACKENDS:
             raise BackendError(
                 f"unknown embedding backend {self.backend!r}; expected {EMBEDDING_BACKENDS}"
+            )
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise BackendError(
+                f"unknown kernel backend {self.kernel_backend!r}; "
+                f"expected one of {KERNEL_BACKENDS}"
             )
         if self.dim <= 0 or self.batch_size <= 0 or self.epochs < 0:
             raise ShapeError("dim and batch_size must be positive, epochs non-negative")
@@ -132,9 +141,13 @@ class Force2Vec:
             processes=self.config.processes,
         )
         self._sig_stream = self._runtime.epochs(
-            self.adjacency, pattern="sigmoid_embedding"
+            self.adjacency,
+            pattern="sigmoid_embedding",
+            backend=self.config.kernel_backend,
         )
-        self._agg_stream = self._runtime.epochs(self.adjacency, pattern="gcn")
+        self._agg_stream = self._runtime.epochs(
+            self.adjacency, pattern="gcn", backend=self.config.kernel_backend
+        )
         self.history: List[EpochStats] = []
 
     # ------------------------------------------------------------------ #

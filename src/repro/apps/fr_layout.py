@@ -26,6 +26,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..baselines.unfused import unfused_fusedmm
+from ..core.fused import BACKENDS as KERNEL_BACKENDS
 from ..core.fused import fusedmm
 from ..errors import BackendError, ShapeError
 from ..graphs.features import uniform_features
@@ -50,6 +51,8 @@ class FRLayoutConfig:
     repulsive_samples: int = 5
     seed: int = 0
     backend: str = "fused"
+    #: kernel backend of the fused path (:data:`repro.core.BACKENDS`)
+    kernel_backend: str = "auto"
     num_threads: int = 1
     #: worker processes of the sharded execution tier (0 = in-process)
     processes: int = 0
@@ -58,6 +61,11 @@ class FRLayoutConfig:
         if self.backend not in LAYOUT_BACKENDS:
             raise BackendError(
                 f"unknown layout backend {self.backend!r}; expected {LAYOUT_BACKENDS}"
+            )
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise BackendError(
+                f"unknown kernel backend {self.kernel_backend!r}; "
+                f"expected one of {KERNEL_BACKENDS}"
             )
         if self.dim <= 0 or self.iterations < 0:
             raise ShapeError("dim must be positive and iterations non-negative")
@@ -88,7 +96,11 @@ class FRLayout:
             cache_size=4,
             processes=self.config.processes,
         )
-        self._force_stream = self._runtime.epochs(self.adjacency, pattern="fr_layout")
+        self._force_stream = self._runtime.epochs(
+            self.adjacency,
+            pattern="fr_layout",
+            backend=self.config.kernel_backend,
+        )
         self.iteration_seconds: List[float] = []
 
     # ------------------------------------------------------------------ #

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..baselines.mkl_like import scipy_available, vendor_spmm
 from ..baselines.unfused import unfused_fusedmm
+from ..core.fused import BACKENDS as KERNEL_BACKENDS
 from ..errors import BackendError, ShapeError
 from ..runtime import KernelRuntime
 from ..graphs.features import xavier_init
@@ -66,6 +67,8 @@ class GCNConfig:
     weight_decay: float = 5e-4
     seed: int = 0
     backend: str = "fused"
+    #: kernel backend of the fused aggregation (:data:`repro.core.BACKENDS`)
+    kernel_backend: str = "auto"
     num_threads: int = 1
     #: worker processes of the sharded execution tier (0 = in-process)
     processes: int = 0
@@ -73,6 +76,11 @@ class GCNConfig:
     def __post_init__(self) -> None:
         if self.backend not in GCN_BACKENDS:
             raise BackendError(f"unknown GCN backend {self.backend!r}; expected {GCN_BACKENDS}")
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise BackendError(
+                f"unknown kernel backend {self.kernel_backend!r}; "
+                f"expected one of {KERNEL_BACKENDS}"
+            )
         if self.hidden_dim <= 0:
             raise ShapeError("hidden_dim must be positive")
 
@@ -115,7 +123,9 @@ class GCN:
         self._runtime = KernelRuntime(
             num_threads=cfg.num_threads, cache_size=4, processes=cfg.processes
         )
-        self._agg_stream = self._runtime.epochs(self.A_hat, pattern="gcn")
+        self._agg_stream = self._runtime.epochs(
+            self.A_hat, pattern="gcn", backend=cfg.kernel_backend
+        )
         self.history: List[Dict[str, float]] = []
 
     # ------------------------------------------------------------------ #

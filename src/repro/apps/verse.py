@@ -21,7 +21,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..errors import ShapeError
+from ..core.fused import BACKENDS as KERNEL_BACKENDS
+from ..errors import BackendError, ShapeError
 from ..graphs.features import random_features
 from ..graphs.graph import Graph
 from ..runtime import KernelRuntime
@@ -42,6 +43,8 @@ class VerseConfig:
     learning_rate: float = 0.025
     noise_samples: int = 3
     seed: int = 0
+    #: kernel backend of the FusedMM calls (:data:`repro.core.BACKENDS`)
+    kernel_backend: str = "auto"
     num_threads: int = 1
     #: worker processes of the sharded execution tier (0 = in-process)
     processes: int = 0
@@ -51,6 +54,11 @@ class VerseConfig:
             raise ShapeError("dim and batch_size must be positive")
         if self.noise_samples < 0:
             raise ShapeError("noise_samples must be non-negative")
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise BackendError(
+                f"unknown kernel backend {self.kernel_backend!r}; "
+                f"expected one of {KERNEL_BACKENDS}"
+            )
 
 
 class Verse:
@@ -80,9 +88,13 @@ class Verse:
             processes=self.config.processes,
         )
         self._sig_stream = self._runtime.epochs(
-            self.similarity, pattern="sigmoid_embedding"
+            self.similarity,
+            pattern="sigmoid_embedding",
+            backend=self.config.kernel_backend,
         )
-        self._agg_stream = self._runtime.epochs(self.similarity, pattern="gcn")
+        self._agg_stream = self._runtime.epochs(
+            self.similarity, pattern="gcn", backend=self.config.kernel_backend
+        )
         self.history: List[EpochStats] = []
 
     def _batch_gradient(self, batch: np.ndarray) -> np.ndarray:

@@ -2,6 +2,7 @@
 pytest-benchmark targets."""
 
 from .harness import compare_kernels, kernel_callables, make_operands
+from .jit_bench import bench_jit_speedup
 from .record import bench_environment, load_benchmark, record_benchmark
 from .report import ExperimentReport, comparison_block, load_results, save_results
 from .runtime_bench import (
@@ -12,12 +13,18 @@ from .runtime_bench import (
 from .shard_bench import bench_shard_scaling
 from .sweep import DegreeSweepItem, degree_sweep_graphs, dimension_sweep
 from .tables import format_markdown_table, format_table, format_value
+from .trend import MetricDelta, TrendReport, compare_paths, compare_records
 
 __all__ = [
     "bench_environment",
     "record_benchmark",
     "load_benchmark",
     "bench_shard_scaling",
+    "bench_jit_speedup",
+    "compare_paths",
+    "compare_records",
+    "MetricDelta",
+    "TrendReport",
     "compare_kernels",
     "kernel_callables",
     "make_operands",

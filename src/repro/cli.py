@@ -9,7 +9,10 @@ Sub-commands
 ``kernel``        time one kernel comparison on one graph/dimension
 ``bench``         system benchmarks (``bench runtime``: plan-cache and
                   batch-packing throughput of the kernel runtime;
-                  ``bench shard``: multi-process shard scaling)
+                  ``bench shard``: multi-process shard scaling;
+                  ``bench jit``: JIT backend speedup vs the NumPy backends;
+                  ``bench compare``: diff BENCH_*.json trend records and
+                  gate on regressions)
 ``report``        regenerate EXPERIMENTS.md style results (all experiments,
                   scaled down) and write them to a Markdown file
 
@@ -151,6 +154,42 @@ def _cmd_bench_shard(args: argparse.Namespace) -> int:
     return 0 if all(r["identical"] for r in rows) else 1
 
 
+def _cmd_bench_jit(args: argparse.Namespace) -> int:
+    from .bench.jit_bench import bench_jit_speedup
+    from .core.jit import jit_available
+
+    rows = bench_jit_speedup(
+        num_nodes=args.nodes,
+        avg_degree=args.avg_degree,
+        dim=args.dim,
+        repeats=args.repeats,
+        patterns=args.patterns,
+    )
+    print(format_table(rows, title="JIT backend speedup (vs NumPy backends)"))
+    if not jit_available():
+        print(
+            "numba is not installed: jit rows skipped "
+            "(pip install repro-fusedmm[jit])"
+        )
+    if args.json:
+        from .bench.record import record_benchmark
+
+        print(f"wrote {record_benchmark('jit', rows, path=args.json)}")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from .bench.trend import compare_paths, render_report
+
+    report = compare_paths(
+        args.baseline,
+        args.current,
+        threshold=args.threshold,
+        min_seconds=args.min_seconds,
+    )
+    return render_report(report, threshold=args.threshold, no_fail=args.no_fail)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.run_all import generate_report
 
@@ -217,6 +256,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench_sh.add_argument("--pattern", default="sigmoid_embedding")
     p_bench_sh.add_argument("--json", metavar="PATH", default=None)
     p_bench_sh.set_defaults(func=_cmd_bench_shard)
+
+    p_bench_jit = bench_sub.add_parser(
+        "jit", help="JIT backend speedup vs the NumPy backends"
+    )
+    p_bench_jit.add_argument("--nodes", type=int, default=20_000)
+    p_bench_jit.add_argument("--avg-degree", type=int, default=16)
+    p_bench_jit.add_argument("--dim", type=int, default=128)
+    p_bench_jit.add_argument("--repeats", type=int, default=3)
+    p_bench_jit.add_argument(
+        "--patterns", nargs="+", default=["sigmoid_embedding", "fr_layout", "gcn"]
+    )
+    p_bench_jit.add_argument("--json", metavar="PATH", default=None)
+    p_bench_jit.set_defaults(func=_cmd_bench_jit)
+
+    p_bench_cmp = bench_sub.add_parser(
+        "compare", help="diff BENCH_*.json trend records, gate on regressions"
+    )
+    p_bench_cmp.add_argument("baseline", help="baseline file or directory")
+    p_bench_cmp.add_argument("current", help="current file or directory")
+    p_bench_cmp.add_argument("--threshold", type=float, default=0.15)
+    p_bench_cmp.add_argument("--min-seconds", type=float, default=5e-3)
+    p_bench_cmp.add_argument("--no-fail", action="store_true")
+    p_bench_cmp.set_defaults(func=_cmd_bench_compare)
 
     p_report = sub.add_parser("report", help="regenerate the experiments report")
     p_report.add_argument("--output", default="EXPERIMENTS_GENERATED.md")

@@ -7,6 +7,8 @@ Layout
 ``generic``      Algorithm 1 reference kernel
 ``optimized``    vectorized row-/edge-blocked kernels (FusedMMopt)
 ``specialized``  hand-fused kernels for the known patterns
+``jit``          Numba-compiled row-fused kernels (optional extra)
+``mathops``      shared scalar math (clipped sigmoid)
 ``codegen``      pattern-specialized kernel source generator
 ``autotune``     strategy / block-size autotuner
 ``partition``    PART1D nnz-balanced 1-D partitioning
@@ -18,6 +20,8 @@ from .autotune import TuningResult, autotune
 from .codegen import compile_kernel, generate_kernel_source, supports_pattern
 from .fused import BACKENDS, FusedMM, fusedmm
 from .generic import fusedmm_generic
+from .jit import fusedmm_jit, jit_available, jit_supports_pattern
+from .mathops import SIGMOID_CLAMP, sigmoid, sigmoid_scalar
 from .operators import Operator, OpKind, get_op, list_ops, make_mlp_vop, make_scal, register_op
 from .optimized import (
     DEFAULT_BLOCK_SIZE,
@@ -41,6 +45,12 @@ __all__ = [
     "FusedMM",
     "BACKENDS",
     "fusedmm_generic",
+    "fusedmm_jit",
+    "jit_available",
+    "jit_supports_pattern",
+    "SIGMOID_CLAMP",
+    "sigmoid",
+    "sigmoid_scalar",
     "fusedmm_optimized",
     "fusedmm_rowblocked",
     "fusedmm_edgeblocked",

@@ -23,11 +23,12 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..sparse import CSRMatrix
+from . import jit as jit_backend
 from .optimized import DEFAULT_BLOCK_SIZE, fusedmm_edgeblocked, fusedmm_rowblocked
 from .patterns import OpPattern, get_pattern
 from .validation import validate_operands
@@ -100,7 +101,7 @@ def autotune(
     Y=None,
     *,
     pattern: OpPattern | str = "sigmoid_embedding",
-    strategies: Sequence[str] = ("row", "edge"),
+    strategies: Optional[Sequence[str]] = None,
     block_candidates: Sequence[int] = DEFAULT_BLOCK_CANDIDATES,
     repeats: int = 2,
     max_sample_nnz: int = 200_000,
@@ -113,7 +114,11 @@ def autotune(
     Parameters
     ----------
     strategies:
-        Subset of ``{"row", "edge"}`` to try.
+        Subset of ``{"row", "edge", "jit"}`` to try.  The default
+        (``None``) sweeps both NumPy blocking strategies and adds the JIT
+        backend as a candidate whenever numba is importable and the
+        pattern maps onto the compiled dispatch table — a winning ``"jit"``
+        trial makes callers pin the jit backend for the planned kernel.
     block_candidates:
         Edge block sizes to sweep (only relevant for the edge strategy).
     repeats:
@@ -124,6 +129,10 @@ def autotune(
     """
     A_csr, X_arr, Y_arr = validate_operands(A, X, Y)
     resolved = get_pattern(pattern, **pattern_overrides).resolved()
+    if strategies is None:
+        strategies = ("row", "edge")
+        if jit_backend.jit_available() and jit_backend.jit_supports_pattern(resolved):
+            strategies = ("row", "edge", "jit")
     key = (
         tuple(sorted(resolved.op_names().items())),
         X_arr.shape[1],
@@ -172,11 +181,21 @@ def autotune(
                     **pattern_overrides,
                 )
                 trials[("edge", int(block))] = elapsed
+        elif strategy == "jit":
+            elapsed = _time(
+                jit_backend.fusedmm_jit,
+                sample,
+                Xs,
+                Y_arr,
+                pattern=pattern,
+                **pattern_overrides,
+            )
+            trials[("jit", 0)] = elapsed
         else:
             raise ValueError(f"unknown strategy {strategy!r}")
 
     (best_strategy, best_block), best_time = min(trials.items(), key=lambda kv: kv[1])
-    if best_strategy == "row":
+    if best_strategy in ("row", "jit"):
         best_block = DEFAULT_BLOCK_SIZE
     result = TuningResult(
         strategy=best_strategy,

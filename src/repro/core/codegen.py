@@ -28,7 +28,13 @@ from typing import Callable, Dict, Tuple
 import numpy as np
 
 from ..errors import CodegenError
-from .optimized import DEFAULT_BLOCK_SIZE
+from .mathops import sigmoid
+from .optimized import (
+    DEFAULT_BLOCK_SIZE,
+    _alloc_accumulator,
+    _finalize_output,
+    _window_parts,
+)
 from .parallel import ParallelConfig, run_partitioned
 from .patterns import ResolvedPattern
 
@@ -79,7 +85,9 @@ _FUSED_VOP_ROP: Dict[Tuple[str, str], str] = {
 
 _SOP_EXPR: Dict[str, str] = {
     "NOOP": "S",
-    "SIGMOID": "1.0 / (1.0 + np.exp(-np.clip(S, -60.0, 60.0)))",
+    # ``sigmoid`` is repro.core.mathops.sigmoid, injected into the compile
+    # namespace — one clamp definition shared with every other backend.
+    "SIGMOID": "sigmoid(S)",
     "TDIST": "1.0 / (1.0 + np.square(S))",
     "RELU": "np.maximum(S, 0.0)",
     "TANH": "np.tanh(S)",
@@ -245,7 +253,7 @@ def compile_kernel(pattern: ResolvedPattern) -> Callable:
         return _KERNEL_CACHE[key]
 
     source = generate_kernel_source(pattern)
-    namespace: Dict[str, object] = {"np": np}
+    namespace: Dict[str, object] = {"np": np, "sigmoid": sigmoid}
     try:
         code = compile(source, filename=f"<generated:{pattern.name}>", mode="exec")
         exec(code, namespace)  # noqa: S102 - deliberate, this is the code generator
@@ -266,15 +274,23 @@ def compile_kernel(pattern: ResolvedPattern) -> Callable:
         parts_per_thread: int = 1,
         parts=None,
         pool=None,
+        out=None,
+        row_offset: int = 0,
     ) -> np.ndarray:
-        from .validation import validate_operands
+        from .validation import resolve_out_window, validate_operands
 
         A_csr, X_arr, Y_arr = validate_operands(A, X, Y)
         m, d = X_arr.shape
-        Z = (
-            np.zeros((m, d), dtype=np.float64)
-            if aop_name == "ASUM"
-            else np.full((m, d), identity, dtype=np.float64)
+        w0, w1 = resolve_out_window(out, row_offset, m, d)
+        parts = _window_parts(
+            A_csr,
+            w0,
+            w1,
+            parts,
+            ParallelConfig(num_threads, parts_per_thread).num_parts,
+        )
+        Z = _alloc_accumulator(
+            out, w0, w1, d, 0.0 if aop_name == "ASUM" else identity
         )
         indptr, indices, data = A_csr.indptr, A_csr.indices, A_csr.data
         edge_rows = np.repeat(np.arange(m, dtype=np.int64), A_csr.row_degrees())
@@ -296,13 +312,13 @@ def compile_kernel(pattern: ResolvedPattern) -> Callable:
 
         run_partitioned(
             A_csr, Z, run, config=ParallelConfig(num_threads, parts_per_thread),
-            parts=parts, pool=pool,
+            parts=parts, pool=pool, row_offset=w0,
         )
         if aop_name != "ASUM":
-            empty = A_csr.row_degrees() == 0
+            empty = A_csr.row_degrees()[w0:w1] == 0
             if np.any(empty):
                 Z[empty] = 0.0
-        return Z.astype(X_arr.dtype)
+        return _finalize_output(Z, out, X_arr.dtype)
 
     generated_fusedmm.__name__ = f"fusedmm_generated_{pattern.name}"
     generated_fusedmm.source = source  # type: ignore[attr-defined]

@@ -17,8 +17,16 @@ Backends
 ``"optimized"``    vectorized row-/edge-blocked kernels (paper's "FusedMMopt")
 ``"specialized"``  hand-fused kernels for the known Table III patterns
 ``"generated"``    kernels emitted by the code generator (Section IV.B)
-``"auto"``         specialized → generated → optimized → generic, first
-                   backend that supports the requested pattern wins
+``"jit"``          Numba-compiled row-fused kernels (:mod:`repro.core.jit`);
+                   runs interpreted when the optional numba extra is absent
+``"auto"``         jit (only when numba is importable) → specialized →
+                   generated → optimized → generic, first backend that
+                   supports the requested pattern wins
+
+All backends share the ``out=``/``row_offset=`` output surface: pass a
+preallocated ``(k, d)`` slab and row ``u`` of the result lands in
+``out[u - row_offset]`` — the shard workers use this to write straight
+into shared memory.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ import numpy as np
 
 from ..errors import BackendError
 from ..sparse import CSRMatrix
+from . import jit as jit_backend
 from .autotune import TuningResult, autotune
 from .codegen import compile_kernel, supports_pattern
 from .generic import fusedmm_generic
@@ -40,7 +49,7 @@ from .specialized import get_specialized_kernel
 
 __all__ = ["fusedmm", "FusedMM", "BACKENDS"]
 
-BACKENDS = ("auto", "generic", "optimized", "specialized", "generated")
+BACKENDS = ("auto", "jit", "generic", "optimized", "specialized", "generated")
 
 
 def fusedmm(
@@ -53,6 +62,8 @@ def fusedmm(
     num_threads: int = 1,
     block_size: Optional[int] = None,
     strategy: str = "auto",
+    out: Optional[np.ndarray] = None,
+    row_offset: int = 0,
     **pattern_overrides,
 ) -> np.ndarray:
     """Compute ``Z = FusedMM(A, X, Y)`` for the requested operator pattern.
@@ -80,6 +91,10 @@ def fusedmm(
         Edge-block size override for the blocked backends.
     strategy:
         ``"row"``, ``"edge"`` or ``"auto"`` for the optimized backend.
+    out, row_offset:
+        Optional preallocated output slab shared by every backend: row
+        ``u`` of the result is written to ``out[u - row_offset]`` and only
+        the covered rows are computed.
 
     Returns
     -------
@@ -92,7 +107,28 @@ def fusedmm(
     resolved = op_pattern.resolved()
 
     if backend == "generic":
-        return fusedmm_generic(A, X, Y, pattern=op_pattern)
+        return fusedmm_generic(
+            A, X, Y, pattern=op_pattern, out=out, row_offset=row_offset
+        )
+
+    if backend == "jit" or (
+        backend == "auto"
+        and jit_backend.jit_available()
+        and jit_backend.jit_supports_pattern(resolved)
+    ):
+        # ``auto`` only prefers the tier when numba is actually importable;
+        # an explicit backend="jit" also runs interpreted (slow but exact)
+        # so the compiled semantics stay testable everywhere.
+        return jit_backend.fusedmm_jit(
+            A,
+            X,
+            Y,
+            pattern=op_pattern,
+            block_size=block_size or DEFAULT_BLOCK_SIZE,
+            num_threads=num_threads,
+            out=out,
+            row_offset=row_offset,
+        )
 
     if backend in ("specialized", "auto"):
         kernel = get_specialized_kernel(resolved)
@@ -103,6 +139,8 @@ def fusedmm(
                 Y,
                 block_size=block_size or DEFAULT_BLOCK_SIZE,
                 num_threads=num_threads,
+                out=out,
+                row_offset=row_offset,
             )
         if backend == "specialized":
             raise BackendError(
@@ -119,6 +157,8 @@ def fusedmm(
                 Y,
                 block_size=block_size or DEFAULT_BLOCK_SIZE,
                 num_threads=num_threads,
+                out=out,
+                row_offset=row_offset,
             )
         if backend == "generated":
             raise BackendError(
@@ -136,13 +176,17 @@ def fusedmm(
             strategy=strategy,
             block_size=block_size,
             num_threads=num_threads,
+            out=out,
+            row_offset=row_offset,
         )
     except Exception:
         if backend == "optimized":
             raise
         # Last-resort fallback for exotic user operators whose batched form
         # misbehaves: the reference kernel always works.
-        return fusedmm_generic(A, X, Y, pattern=op_pattern)
+        return fusedmm_generic(
+            A, X, Y, pattern=op_pattern, out=out, row_offset=row_offset
+        )
 
 
 @dataclass
@@ -221,13 +265,22 @@ class FusedMM:
             Y,
             pattern=self.pattern,
             num_threads=self.plan.num_threads,
+            strategies=(
+                None if self.plan.backend in ("auto", "jit") else ("row", "edge")
+            ),
         )
         self.plan.tuning = result
-        self.plan.strategy = result.strategy
+        if result.strategy == "jit":
+            # The JIT tier beat both NumPy blocking strategies: pin the
+            # backend (the jit kernels have no row/edge strategy knob).
+            self.plan.backend = "jit"
+            self.plan.strategy = "auto"
+        else:
+            self.plan.strategy = result.strategy
         self.plan.block_size = result.block_size
 
     # ------------------------------------------------------------------ #
-    def __call__(self, X, Y=None) -> np.ndarray:
+    def __call__(self, X, Y=None, *, out=None, row_offset: int = 0) -> np.ndarray:
         """Execute the planned kernel on new feature matrices."""
         return fusedmm(
             self.A,
@@ -238,6 +291,8 @@ class FusedMM:
             num_threads=self.plan.num_threads,
             block_size=self.plan.block_size,
             strategy=self.plan.strategy,
+            out=out,
+            row_offset=row_offset,
         )
 
     # ------------------------------------------------------------------ #

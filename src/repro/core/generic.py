@@ -35,7 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from .patterns import OpPattern, ResolvedPattern, get_pattern
-from .validation import validate_operands
+from .validation import resolve_out_window, validate_operands
 
 __all__ = ["fusedmm_generic", "update_u"]
 
@@ -84,6 +84,8 @@ def fusedmm_generic(
     Y=None,
     *,
     pattern: OpPattern | str = "sigmoid_embedding",
+    out: np.ndarray | None = None,
+    row_offset: int = 0,
     **pattern_overrides,
 ) -> np.ndarray:
     """Compute ``Z = FusedMM(A, X, Y)`` with the reference algorithm.
@@ -95,23 +97,33 @@ def fusedmm_generic(
     pattern:
         A pattern name, an :class:`~repro.core.patterns.OpPattern`, or
         ``None`` plus explicit ``vop=...``/``rop=...`` overrides.
+    out, row_offset:
+        Optional preallocated output slab: row ``u`` of the result is
+        written to ``out[u - row_offset]`` and only the rows the slab
+        covers are computed.  Accumulation still happens in float64 (cast
+        into ``out`` once per row), so results match the plain path
+        bitwise.
     """
     A, X, Y = validate_operands(A, X, Y)
     resolved = get_pattern(pattern, **pattern_overrides).resolved()
     m, d = X.shape
+    w0, w1 = resolve_out_window(out, row_offset, m, d)
     identity = resolved.aop.accumulator_identity
-    Z = np.full((m, d), identity, dtype=np.float64)
+    Z = np.full((w1 - w0, d), identity, dtype=np.float64)
     indptr, indices, data = A.indptr, A.indices, A.data
-    for u in range(m):
+    for u in range(w0, w1):
         lo, hi = indptr[u], indptr[u + 1]
         if lo == hi:
             # No neighbours: the output row stays at the AOP identity for
             # max/min accumulators but is defined as zero for sums; for
             # consistency with the unfused baselines we zero empty rows.
-            Z[u] = 0.0
+            Z[u - w0] = 0.0
             continue
-        update_u(resolved, X[u], indices[lo:hi], data[lo:hi], Y, Z[u])
+        update_u(resolved, X[u], indices[lo:hi], data[lo:hi], Y, Z[u - w0])
     # Rows whose accumulator never received a message keep ±inf for AMAX /
     # AMIN; normalise those to zero as well (cannot happen after the loop
     # above, but user AOPs may produce non-finite values legitimately).
-    return Z.astype(np.float32 if X.dtype == np.float32 else X.dtype)
+    if out is None:
+        return Z.astype(np.float32 if X.dtype == np.float32 else X.dtype)
+    out[...] = Z
+    return out

@@ -46,6 +46,8 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from ..errors import OperatorError
+from .mathops import SIGMOID_CLAMP
+from .mathops import sigmoid as _sigmoid
 
 __all__ = [
     "OpKind",
@@ -166,14 +168,9 @@ def list_ops(kind: str | None = None) -> list:
 # ---------------------------------------------------------------------- #
 # Standard operators (Table II of the paper, plus application extras)
 # ---------------------------------------------------------------------- #
-def _sigmoid(x):
-    # Numerically stable sigmoid working for scalars and arrays.
-    return np.where(
-        np.asarray(x) >= 0,
-        1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0))),
-        np.exp(np.clip(x, -60.0, 60.0)) / (1.0 + np.exp(np.clip(x, -60.0, 60.0))),
-    )
-
+# The numerically stable clipped sigmoid lives in repro.core.mathops so the
+# registry, the hand-fused kernels, the code generator and the JIT backend
+# all share one clamp definition.
 
 NOOP = register_op(
     Operator(
@@ -300,8 +297,8 @@ register_op(
     Operator(
         name="EXP",
         kinds=(OpKind.SOP, OpKind.MOP),
-        edge_fn=lambda x, *rest: np.exp(np.clip(x, -60.0, 60.0)),
-        batch_fn=lambda x, *rest: np.exp(np.clip(x, -60.0, 60.0)),
+        edge_fn=lambda x, *rest: np.exp(np.clip(x, -SIGMOID_CLAMP, SIGMOID_CLAMP)),
+        batch_fn=lambda x, *rest: np.exp(np.clip(x, -SIGMOID_CLAMP, SIGMOID_CLAMP)),
     )
 )
 

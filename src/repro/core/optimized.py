@@ -42,7 +42,7 @@ from .operators import Operator
 from .parallel import ParallelConfig, run_partitioned
 from .partition import RowPartition
 from .patterns import OpPattern, ResolvedPattern, get_pattern
-from .validation import validate_operands
+from .validation import resolve_out_window, validate_operands
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
@@ -50,6 +50,68 @@ __all__ = [
     "fusedmm_edgeblocked",
     "fusedmm_optimized",
 ]
+
+
+# ---------------------------------------------------------------------- #
+# Shared ``out=``/``row_offset=`` plumbing
+# ---------------------------------------------------------------------- #
+def _window_parts(A, w0: int, w1: int, parts, num_parts: int = 1):
+    """The partition list for a windowed call: the caller's, or an
+    nnz-balanced split of exactly the window rows (``None`` keeps the
+    kernel's default full-matrix partitioning).
+
+    The window is split into up to ``num_parts`` contiguous pieces so a
+    windowed ``out=`` call still fans out over the thread pool.  Any row
+    partitioning yields bitwise-identical results (edge blocks align to
+    the absolute edge grid), so the split count is free to follow the
+    thread count here.
+    """
+    if parts is not None:
+        return parts
+    if w0 == 0 and w1 == A.nrows:
+        return None
+    indptr = A.indptr
+    nnz_lo, nnz_hi = int(indptr[w0]), int(indptr[w1])
+    total = nnz_hi - nnz_lo
+    n = max(1, min(int(num_parts), w1 - w0))
+    bounds = [w0]
+    for i in range(1, n):
+        target = nnz_lo + (total * i) // n
+        cut = int(np.searchsorted(indptr, target, side="left"))
+        bounds.append(min(max(cut, bounds[-1]), w1))
+    bounds.append(w1)
+    return [
+        RowPartition(a, b, int(indptr[b] - indptr[a]))
+        for a, b in zip(bounds, bounds[1:])
+        if b > a
+    ]
+
+
+def _alloc_accumulator(out, w0: int, w1: int, d: int, identity: float) -> np.ndarray:
+    """The float64 accumulation buffer for the window ``[w0, w1)``.
+
+    When ``out`` itself is a contiguous float64 array it is used directly
+    (zero extra allocation); otherwise a window-sized scratch is created —
+    never a full ``(nrows, d)`` matrix.  Accumulating in float64 and
+    casting once at the end is what keeps ``out=`` results bitwise equal
+    to the plain path.
+    """
+    if out is not None and out.dtype == np.float64 and out.flags["C_CONTIGUOUS"]:
+        out[...] = identity
+        return out
+    if identity == 0.0:
+        return np.zeros((w1 - w0, d), dtype=np.float64)
+    return np.full((w1 - w0, d), identity, dtype=np.float64)
+
+
+def _finalize_output(Z: np.ndarray, out, result_dtype) -> np.ndarray:
+    """Cast the float64 accumulator into ``out`` (or a fresh result)."""
+    if out is None:
+        return Z.astype(result_dtype)
+    if Z is not out:
+        out[...] = Z
+    return out
+
 
 #: Default number of edges per block for the edge-blocked kernel.  Chosen so
 #: a block of d=128 single-precision messages (~4 MB) fits in the last-level
@@ -105,13 +167,19 @@ def fusedmm_rowblocked(
     parts_per_thread: int = 1,
     parts: Optional[Sequence[RowPartition]] = None,
     pool: Optional[ThreadPoolExecutor] = None,
+    out: Optional[np.ndarray] = None,
+    row_offset: int = 0,
     **pattern_overrides,
 ) -> np.ndarray:
     """FusedMM with per-row vectorization (register-blocking analogue)."""
     A, X, Y = validate_operands(A, X, Y)
     resolved = get_pattern(pattern, **pattern_overrides).resolved()
     m, d = X.shape
-    Z = np.zeros((m, d), dtype=np.float64)
+    w0, w1 = resolve_out_window(out, row_offset, m, d)
+    parts = _window_parts(
+        A, w0, w1, parts, ParallelConfig(num_threads, parts_per_thread).num_parts
+    )
+    Z = _alloc_accumulator(out, w0, w1, d, 0.0)
     identity = resolved.aop.accumulator_identity
     indptr, indices, data = A.indptr, A.indices, A.data
 
@@ -135,9 +203,9 @@ def fusedmm_rowblocked(
 
     run_partitioned(
         A, Z, kernel, config=ParallelConfig(num_threads, parts_per_thread),
-        parts=parts, pool=pool,
+        parts=parts, pool=pool, row_offset=w0,
     )
-    return Z.astype(X.dtype)
+    return _finalize_output(Z, out, X.dtype)
 
 
 # ---------------------------------------------------------------------- #
@@ -171,6 +239,8 @@ def fusedmm_edgeblocked(
     parts_per_thread: int = 1,
     parts: Optional[Sequence[RowPartition]] = None,
     pool: Optional[ThreadPoolExecutor] = None,
+    out: Optional[np.ndarray] = None,
+    row_offset: int = 0,
     **pattern_overrides,
 ) -> np.ndarray:
     """FusedMM processing edges in fixed-size blocks with segment reduction.
@@ -184,12 +254,14 @@ def fusedmm_edgeblocked(
         raise ValueError(f"block_size must be positive, got {block_size}")
     resolved = get_pattern(pattern, **pattern_overrides).resolved()
     m, d = X.shape
+    w0, w1 = resolve_out_window(out, row_offset, m, d)
+    parts = _window_parts(
+        A, w0, w1, parts, ParallelConfig(num_threads, parts_per_thread).num_parts
+    )
     identity = resolved.aop.accumulator_identity
     aop_ufunc = resolved.aop.accumulate_ufunc
     use_sum = resolved.aop.name == "ASUM"
-    Z = np.zeros((m, d), dtype=np.float64) if use_sum else np.full(
-        (m, d), identity, dtype=np.float64
-    )
+    Z = _alloc_accumulator(out, w0, w1, d, 0.0 if use_sum else identity)
     indptr, indices, data = A.indptr, A.indices, A.data
     # Row id of every edge, computed once: CSR guarantees these are sorted.
     edge_rows = np.repeat(np.arange(m, dtype=np.int64), A.row_degrees())
@@ -219,15 +291,15 @@ def fusedmm_edgeblocked(
 
     run_partitioned(
         A, Z, kernel, config=ParallelConfig(num_threads, parts_per_thread),
-        parts=parts, pool=pool,
+        parts=parts, pool=pool, row_offset=w0,
     )
     if not use_sum:
         # Rows that never received a message hold the accumulator identity
         # (±inf); normalise them to zero like every other backend.
-        empty = A.row_degrees() == 0
+        empty = A.row_degrees()[w0:w1] == 0
         if np.any(empty):
             Z[empty] = 0.0
-    return Z.astype(X.dtype)
+    return _finalize_output(Z, out, X.dtype)
 
 
 # ---------------------------------------------------------------------- #
@@ -245,6 +317,8 @@ def fusedmm_optimized(
     parts_per_thread: int = 1,
     parts: Optional[Sequence[RowPartition]] = None,
     pool: Optional[ThreadPoolExecutor] = None,
+    out: Optional[np.ndarray] = None,
+    row_offset: int = 0,
     **pattern_overrides,
 ) -> np.ndarray:
     """Vectorized FusedMM choosing between the row-blocked and edge-blocked
@@ -276,6 +350,8 @@ def fusedmm_optimized(
             parts_per_thread=parts_per_thread,
             parts=parts,
             pool=pool,
+            out=out,
+            row_offset=row_offset,
             **pattern_overrides,
         )
     return fusedmm_edgeblocked(
@@ -288,5 +364,7 @@ def fusedmm_optimized(
         parts_per_thread=parts_per_thread,
         parts=parts,
         pool=pool,
+        out=out,
+        row_offset=row_offset,
         **pattern_overrides,
     )

@@ -77,6 +77,7 @@ def run_partitioned(
     config: ParallelConfig | None = None,
     parts: Sequence[RowPartition] | None = None,
     pool: Optional[ThreadPoolExecutor] = None,
+    row_offset: int = 0,
 ) -> np.ndarray:
     """Run ``kernel(part, Z[part.start:part.stop])`` over nnz-balanced row
     partitions, in parallel when more than one thread is configured.
@@ -89,25 +90,40 @@ def run_partitioned(
     the batched kernel runtime), partitions are dispatched onto it instead
     of a per-call executor, and the pool is *not* shut down afterwards.
     Partitioning — and therefore the arithmetic — is identical either way.
+
+    ``row_offset`` shifts the ``Z`` indexing for windowed output buffers
+    (the kernels' ``out=`` surface): partition rows ``[start, stop)`` map
+    to ``Z[start - row_offset : stop - row_offset]``.  Every partition must
+    fall inside the window ``Z`` covers.
     """
     config = config or ParallelConfig(num_threads=1)
     if parts is None:
         parts = part1d(A, config.num_parts)
     work = [p for p in parts if p.num_rows > 0]
+    if row_offset or len(Z) < A.nrows:
+        for p in work:
+            if p.start < row_offset or p.stop - row_offset > len(Z):
+                raise PartitionError(
+                    f"partition rows [{p.start}, {p.stop}) fall outside the "
+                    f"output window [{row_offset}, {row_offset + len(Z)})"
+                )
+
+    def _slice(p: RowPartition) -> np.ndarray:
+        return Z[p.start - row_offset : p.stop - row_offset]
 
     if (config.num_threads <= 1 and pool is None) or len(work) <= 1:
         for p in work:
-            kernel(p, Z[p.start : p.stop])
+            kernel(p, _slice(p))
         return Z
 
     if pool is not None:
-        futures = [pool.submit(kernel, p, Z[p.start : p.stop]) for p in work]
+        futures = [pool.submit(kernel, p, _slice(p)) for p in work]
         for fut in futures:
             fut.result()  # propagate exceptions
         return Z
 
     with ThreadPoolExecutor(max_workers=config.num_threads) as pool_:
-        futures = [pool_.submit(kernel, p, Z[p.start : p.stop]) for p in work]
+        futures = [pool_.submit(kernel, p, _slice(p)) for p in work]
         for fut in futures:
             fut.result()  # propagate exceptions
     return Z

@@ -29,11 +29,18 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from .optimized import DEFAULT_BLOCK_SIZE, _edge_block_ranges
+from .mathops import sigmoid as _sigmoid
+from .optimized import (
+    DEFAULT_BLOCK_SIZE,
+    _alloc_accumulator,
+    _edge_block_ranges,
+    _finalize_output,
+    _window_parts,
+)
 from .parallel import ParallelConfig, run_partitioned
 from .partition import RowPartition
 from .patterns import ResolvedPattern
-from .validation import validate_operands
+from .validation import resolve_out_window, validate_operands
 
 __all__ = [
     "sigmoid_embedding_kernel",
@@ -42,10 +49,6 @@ __all__ = [
     "gcn_kernel",
     "get_specialized_kernel",
 ]
-
-
-def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
 
 
 def sigmoid_embedding_kernel(
@@ -58,6 +61,8 @@ def sigmoid_embedding_kernel(
     parts_per_thread: int = 1,
     parts: Optional[Sequence[RowPartition]] = None,
     pool: Optional[ThreadPoolExecutor] = None,
+    out: Optional[np.ndarray] = None,
+    row_offset: int = 0,
 ) -> np.ndarray:
     """Fused sigmoid-embedding kernel: ``z_u = Σ_v σ(x_uᵀ y_v) y_v``.
 
@@ -68,7 +73,11 @@ def sigmoid_embedding_kernel(
     """
     A, X, Y = validate_operands(A, X, Y)
     m, d = X.shape
-    Z = np.zeros((m, d), dtype=np.float64)
+    w0, w1 = resolve_out_window(out, row_offset, m, d)
+    parts = _window_parts(
+        A, w0, w1, parts, ParallelConfig(num_threads, parts_per_thread).num_parts
+    )
+    Z = _alloc_accumulator(out, w0, w1, d, 0.0)
     indptr, indices, data = A.indptr, A.indices, A.data
     edge_rows = np.repeat(np.arange(m, dtype=np.int64), A.row_degrees())
 
@@ -90,9 +99,9 @@ def sigmoid_embedding_kernel(
 
     run_partitioned(
         A, Z, kernel, config=ParallelConfig(num_threads, parts_per_thread),
-        parts=parts, pool=pool,
+        parts=parts, pool=pool, row_offset=w0,
     )
-    return Z.astype(X.dtype)
+    return _finalize_output(Z, out, X.dtype)
 
 
 def fr_layout_kernel(
@@ -105,6 +114,8 @@ def fr_layout_kernel(
     parts_per_thread: int = 1,
     parts: Optional[Sequence[RowPartition]] = None,
     pool: Optional[ThreadPoolExecutor] = None,
+    out: Optional[np.ndarray] = None,
+    row_offset: int = 0,
 ) -> np.ndarray:
     """Fused force-directed-layout kernel (attractive forces):
     ``z_u = Σ_v 1/(1+‖x_u−y_v‖²) · (x_u−y_v)``.
@@ -116,7 +127,11 @@ def fr_layout_kernel(
     """
     A, X, Y = validate_operands(A, X, Y)
     m, d = X.shape
-    Z = np.zeros((m, d), dtype=np.float64)
+    w0, w1 = resolve_out_window(out, row_offset, m, d)
+    parts = _window_parts(
+        A, w0, w1, parts, ParallelConfig(num_threads, parts_per_thread).num_parts
+    )
+    Z = _alloc_accumulator(out, w0, w1, d, 0.0)
     indptr, indices, data = A.indptr, A.indices, A.data
     edge_rows = np.repeat(np.arange(m, dtype=np.int64), A.row_degrees())
 
@@ -136,9 +151,9 @@ def fr_layout_kernel(
 
     run_partitioned(
         A, Z, kernel, config=ParallelConfig(num_threads, parts_per_thread),
-        parts=parts, pool=pool,
+        parts=parts, pool=pool, row_offset=w0,
     )
-    return Z.astype(X.dtype)
+    return _finalize_output(Z, out, X.dtype)
 
 
 def spmm_kernel(
@@ -150,6 +165,8 @@ def spmm_kernel(
     parts_per_thread: int = 1,
     parts: Optional[Sequence[RowPartition]] = None,
     pool: Optional[ThreadPoolExecutor] = None,
+    out: Optional[np.ndarray] = None,
+    row_offset: int = 0,
 ) -> np.ndarray:
     """SpMM specialisation of FusedMM: ``Z = A · Y``.
 
@@ -166,7 +183,11 @@ def spmm_kernel(
             f"Y must have shape ({A.ncols}, d) for A of shape {A.shape}, got {Y.shape}"
         )
     m = A.nrows
-    Z = np.zeros((m, Y.shape[1]), dtype=np.float64)
+    w0, w1 = resolve_out_window(out, row_offset, m, Y.shape[1])
+    parts = _window_parts(
+        A, w0, w1, parts, ParallelConfig(num_threads, parts_per_thread).num_parts
+    )
+    Z = _alloc_accumulator(out, w0, w1, Y.shape[1], 0.0)
     indptr, indices, data = A.indptr, A.indices, A.data
     edge_rows = np.repeat(np.arange(m, dtype=np.int64), A.row_degrees())
 
@@ -184,9 +205,11 @@ def spmm_kernel(
 
     run_partitioned(
         A, Z, kernel, config=ParallelConfig(num_threads, parts_per_thread),
-        parts=parts, pool=pool,
+        parts=parts, pool=pool, row_offset=w0,
     )
-    return Z.astype(Y.dtype if np.issubdtype(Y.dtype, np.floating) else np.float32)
+    return _finalize_output(
+        Z, out, Y.dtype if np.issubdtype(Y.dtype, np.floating) else np.float32
+    )
 
 
 def gcn_kernel(
@@ -199,12 +222,14 @@ def gcn_kernel(
     parts_per_thread: int = 1,
     parts: Optional[Sequence[RowPartition]] = None,
     pool: Optional[ThreadPoolExecutor] = None,
+    out: Optional[np.ndarray] = None,
+    row_offset: int = 0,
 ) -> np.ndarray:
     """GCN aggregation specialisation — identical math to :func:`spmm_kernel`
     but with the standard (A, X, Y) FusedMM signature so the dispatcher can
     call it interchangeably with the other specializations."""
     A_csr, X_arr, Y_arr = validate_operands(A, X, Y)
-    return spmm_kernel(
+    Z = spmm_kernel(
         A_csr,
         Y_arr,
         block_size=block_size,
@@ -212,7 +237,10 @@ def gcn_kernel(
         parts_per_thread=parts_per_thread,
         parts=parts,
         pool=pool,
-    ).astype(X_arr.dtype)
+        out=out,
+        row_offset=row_offset,
+    )
+    return Z.astype(X_arr.dtype) if out is None else Z
 
 
 def get_specialized_kernel(pattern: ResolvedPattern) -> Optional[Callable]:

@@ -19,7 +19,7 @@ import numpy as np
 from ..errors import DTypeError, ShapeError
 from ..sparse import CSRMatrix, as_csr
 
-__all__ = ["validate_operands", "ensure_float_matrix"]
+__all__ = ["validate_operands", "ensure_float_matrix", "resolve_out_window"]
 
 
 def ensure_float_matrix(arr: np.ndarray, name: str, *, dtype=np.float32) -> np.ndarray:
@@ -33,6 +33,42 @@ def ensure_float_matrix(arr: np.ndarray, name: str, *, dtype=np.float32) -> np.n
     if not np.issubdtype(arr.dtype, np.floating):
         raise DTypeError(f"{name} must have a floating dtype, got {arr.dtype}")
     return np.ascontiguousarray(arr)
+
+
+def resolve_out_window(
+    out, row_offset: int, nrows: int, dim: int
+) -> Tuple[int, int]:
+    """Validate an ``out=``/``row_offset=`` pair against an ``nrows × dim``
+    result and return the absolute row window ``[w0, w1)`` it covers.
+
+    Every backend shares these semantics: row ``u`` of the result lands in
+    ``out[u - row_offset]``, and when no explicit partition list is given
+    the kernel computes exactly the window rows — which is what lets a
+    shard worker hand in a view of its slice of the shared output segment
+    instead of allocating a full ``(nrows, d)`` matrix.
+    """
+    if out is None:
+        if row_offset:
+            raise ShapeError("row_offset is only meaningful together with out=")
+        return 0, nrows
+    if not isinstance(out, np.ndarray) or out.ndim != 2:
+        raise ShapeError(
+            f"out must be a 2-D ndarray, got {type(out).__name__}"
+        )
+    if not np.issubdtype(out.dtype, np.floating):
+        raise DTypeError(f"out must have a floating dtype, got {out.dtype}")
+    if out.shape[1] != dim:
+        raise ShapeError(
+            f"out must have {dim} columns to match the feature dimension, "
+            f"got {out.shape[1]}"
+        )
+    w0 = int(row_offset)
+    w1 = w0 + out.shape[0]
+    if w0 < 0 or w1 > nrows:
+        raise ShapeError(
+            f"out rows [{w0}, {w1}) fall outside the result rows [0, {nrows})"
+        )
+    return w0, w1
 
 
 def validate_operands(A, X, Y=None) -> Tuple[CSRMatrix, np.ndarray, np.ndarray]:

@@ -81,6 +81,14 @@ def run_backend_ladder(
         t = time_kernel(specialized, A, X, X, repeats=repeats).mean
         rows.append({"backend": "specialized", "seconds": t, "extrapolated": False})
 
+    from ..core.jit import jit_available, jit_supports_pattern
+
+    if jit_available() and jit_supports_pattern(resolved):
+        t = time_kernel(
+            fusedmm, A, X, X, pattern=pattern, backend="jit", repeats=repeats
+        ).mean
+        rows.append({"backend": "jit", "seconds": t, "extrapolated": False})
+
     base = rows[0]["seconds"]
     for row in rows:
         row["speedup_vs_generic"] = round(base / max(row["seconds"], 1e-12), 2)

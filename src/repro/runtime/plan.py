@@ -28,6 +28,7 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core import jit as jit_backend
 from ..core.autotune import TuningResult, autotune
 from ..core.codegen import compile_kernel, supports_pattern
 from ..core.fused import BACKENDS
@@ -74,7 +75,7 @@ class KernelPlan:
     key: PlanKey
     op_pattern: OpPattern
     resolved: ResolvedPattern
-    #: "specialized" | "generated" | "optimized" | "generic"
+    #: "jit" | "specialized" | "generated" | "optimized" | "generic"
     kind: str
     #: requested backend ("auto" keeps the generic fallback of fusedmm())
     backend: str
@@ -118,6 +119,8 @@ class KernelPlan:
         num_threads: Optional[int] = None,
         block_size: Optional[int] = None,
         strategy: Optional[str] = None,
+        out: Optional[np.ndarray] = None,
+        row_offset: int = 0,
     ) -> np.ndarray:
         """Run the planned kernel on (possibly new) operands.
 
@@ -126,6 +129,11 @@ class KernelPlan:
         negative matrices may also be passed — the resolution and dispatch
         decisions still apply, only the partitioning is recomputed by the
         kernel when ``parts`` is not given.
+
+        ``out=``/``row_offset=`` pass straight through to the kernels'
+        shared output surface: shard workers hand in a view of their row
+        range of the shared output segment, so no worker ever allocates a
+        full ``(nrows, d)`` result.
         """
         nt = self.num_threads if num_threads is None else num_threads
         bs = self.block_size if block_size is None else block_size
@@ -133,13 +141,27 @@ class KernelPlan:
             self.calls += 1
 
         if self.kind == "generic":
-            return fusedmm_generic(A, X, Y, pattern=self.op_pattern)
+            return fusedmm_generic(
+                A, X, Y, pattern=self.op_pattern, out=out, row_offset=row_offset
+            )
 
-        if self.kind in ("specialized", "generated"):
+        if self.kind in ("jit", "specialized", "generated"):
             if X is None:
                 if not self.is_spmm_like:
                     raise BackendError(
                         f"pattern {self.resolved.name!r} needs source features X"
+                    )
+                if self.kind == "jit":
+                    return self.kernel(
+                        A,
+                        None,
+                        Y,
+                        block_size=bs,
+                        num_threads=nt,
+                        parts=parts,
+                        pool=pool,
+                        out=out,
+                        row_offset=row_offset,
                     )
                 return spmm_kernel(
                     A,
@@ -148,6 +170,8 @@ class KernelPlan:
                     num_threads=nt,
                     parts=parts,
                     pool=pool,
+                    out=out,
+                    row_offset=row_offset,
                 )
             return self.kernel(
                 A,
@@ -157,6 +181,8 @@ class KernelPlan:
                 num_threads=nt,
                 parts=parts,
                 pool=pool,
+                out=out,
+                row_offset=row_offset,
             )
 
         # optimized (with the same last-resort fallback as fusedmm())
@@ -171,11 +197,15 @@ class KernelPlan:
                 num_threads=nt,
                 parts=parts,
                 pool=pool,
+                out=out,
+                row_offset=row_offset,
             )
         except Exception:
             if self.backend == "optimized":
                 raise
-            return fusedmm_generic(A, X, Y, pattern=self.op_pattern)
+            return fusedmm_generic(
+                A, X, Y, pattern=self.op_pattern, out=out, row_offset=row_offset
+            )
 
     # ------------------------------------------------------------------ #
     def describe(self) -> Dict[str, object]:
@@ -260,10 +290,23 @@ def effective_strategy(plan: KernelPlan, A) -> str:
     return plan.strategy
 
 
-def _resolve_kind(resolved: ResolvedPattern, backend: str):
-    """Mirror the fusedmm() backend resolution order; returns (kind, kernel)."""
+def _resolve_kind(resolved: ResolvedPattern, backend: str, *, allow_jit: bool = True):
+    """Mirror the fusedmm() backend resolution order; returns (kind, kernel).
+
+    ``allow_jit=False`` skips the JIT tier for ``auto`` — used when the
+    autotuner measured the NumPy kernels as faster for this problem.
+    """
     if backend == "generic":
         return "generic", None
+    if backend == "jit" or (
+        backend == "auto"
+        and allow_jit
+        and jit_backend.jit_available()
+        and jit_backend.jit_supports_pattern(resolved)
+    ):
+        # get_jit_kernel raises BackendError for unsupported explicit "jit";
+        # auto only lands here when the pattern is supported.
+        return "jit", jit_backend.get_jit_kernel(resolved)
     if backend in ("specialized", "auto"):
         kernel = get_specialized_kernel(resolved)
         if kernel is not None:
@@ -324,8 +367,27 @@ def build_plan(
             if A.nrows == A.ncols
             else rng.standard_normal((A.ncols, d)).astype(np.float32)
         )
-        tuning = autotune(A, X, Y, pattern=op_pattern, num_threads=key.num_threads)
-        strategy = tuning.strategy
+        tuning = autotune(
+            A,
+            X,
+            Y,
+            pattern=op_pattern,
+            num_threads=key.num_threads,
+            # The jit candidate only competes when the requested backend
+            # allows the tier; a forced optimized/specialized/generated
+            # backend keeps the classic row/edge sweep.
+            strategies=None if key.backend in ("auto", "jit") else ("row", "edge"),
+        )
+        if tuning.strategy == "jit":
+            kind, kernel = "jit", jit_backend.get_jit_kernel(resolved)
+            strategy = "auto"
+        else:
+            if kind == "jit" and key.backend == "auto":
+                # The NumPy kernels measured faster: demote auto's jit
+                # preference for this plan (explicit backend="jit" is
+                # honoured regardless of the sweep).
+                kind, kernel = _resolve_kind(resolved, "auto", allow_jit=False)
+            strategy = tuning.strategy
         if key.block_size == 0:
             block_size = tuning.block_size
 

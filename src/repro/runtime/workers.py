@@ -19,17 +19,18 @@ and the shared-memory segments they read.  The design goals, in order:
 
 Operands ``X``/``Y`` change per call and are passed through per-call
 shared-memory segments as well (one bulk copy each, no pickling); every
-worker writes its shard's rows into a disjoint slice of one shared output
-buffer, mirroring how threads write disjoint slices of ``Z`` in the
-single-process runtime.
+worker writes its shard's rows *directly* into its row range of the shared
+output segment through the kernels' ``out=``/``row_offset=`` surface —
+no worker ever allocates a full ``(nrows, d)`` output and there is no
+post-hoc copy.  (Kernels still accumulate each row in float64 before the
+single cast into the segment, so sharded results stay bitwise identical
+to the in-process path; executing on a row-sliced matrix instead would
+shift the edge-block grid and break that identity.)
 
-Known trade-off: each worker's kernel call allocates a full ``(nrows, d)``
-output internally (the kernels have no ``out=``/row-offset surface) even
-though only the shard's rows are copied out, so transient output memory
-scales with the shard count.  Executing on a row-sliced matrix instead
-would shift the edge-block grid and break bitwise identity with the
-single-process kernel — shaving the allocation needs an output-offset
-parameter threaded through the kernels, not a slice.
+Workers that can use the Numba JIT tier warm its kernel cache once at
+spawn (:func:`repro.core.jit.warmup`), so the first real request never
+pays compilation latency; with ``cache=True`` the machine code persists
+on disk across worker generations.
 
 The protocol is deliberately tiny — four message types over one duplex
 pipe per worker::
@@ -200,6 +201,15 @@ def _worker_build_config(spec: Dict[str, object]):
 
 def _worker_main(conn) -> None:  # pragma: no cover - runs in child processes
     """Worker loop: attach matrices, cache configs, execute shards."""
+    # Warm the JIT kernel cache once at spawn (no-op without numba): the
+    # first sharded request on a jit/auto plan then hits compiled code
+    # immediately instead of paying compilation latency mid-call.
+    try:
+        from ..core.jit import warmup
+
+        warmup()
+    except Exception:
+        pass
     matrices: Dict[str, Tuple[CSRMatrix, List[shared_memory.SharedMemory]]] = {}
     configs: Dict[tuple, object] = {}
     while True:
@@ -268,7 +278,14 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in child processes
                         Y = _array_meta_to_ndarray(y_meta, ephemeral)
                     Z_out = _array_meta_to_ndarray(z_meta, ephemeral)
                     parts = [RowPartition(*p) for p in raw_parts]
-                    Z = cfg.execute(
+                    # Write straight into this shard's row range of the
+                    # shared output segment: no full-size (nrows, d)
+                    # allocation, no post-hoc copy.  Kernels accumulate
+                    # each row in float64 and cast once, so the bytes are
+                    # identical to the in-process astype path.
+                    w0 = min(p.start for p in parts)
+                    w1 = max(p.stop for p in parts)
+                    cfg.execute(
                         A,
                         X,
                         Y,
@@ -276,10 +293,10 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in child processes
                         num_threads=1,
                         block_size=spec["block_size"],
                         strategy=spec["strategy"],
+                        out=Z_out[w0:w1],
+                        row_offset=w0,
                     )
-                    for p in parts:
-                        Z_out[p.start : p.stop] = Z[p.start : p.stop]
-                    del X, Y, Z, Z_out
+                    del X, Y, Z_out
                 finally:
                     for shm in ephemeral:
                         try:

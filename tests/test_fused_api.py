@@ -19,7 +19,14 @@ def problem():
 
 
 def test_all_backends_listed():
-    assert set(BACKENDS) == {"auto", "generic", "optimized", "specialized", "generated"}
+    assert set(BACKENDS) == {
+        "auto",
+        "jit",
+        "generic",
+        "optimized",
+        "specialized",
+        "generated",
+    }
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
