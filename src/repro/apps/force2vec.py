@@ -41,7 +41,7 @@ from ..errors import BackendError, ShapeError
 from ..graphs.features import random_features
 from ..graphs.graph import Graph
 from ..runtime import KernelRuntime
-from ..sparse import CSRMatrix
+from ..sparse import CSRMatrix, validate_reorder
 from .sampling import NegativeSampler, minibatch_indices
 
 __all__ = ["Force2VecConfig", "EpochStats", "Force2Vec", "EMBEDDING_BACKENDS"]
@@ -68,6 +68,14 @@ class Force2VecConfig:
     #: kernel backend of the fused path (:data:`repro.core.BACKENDS`):
     #: "auto" prefers the Numba jit tier when importable
     kernel_backend: str = "auto"
+    #: locality tier of the full-graph plans (:data:`repro.sparse.REORDER_CHOICES`):
+    #: "none" keeps bitwise-exact execution, "auto" measures once per plan.
+    #: Note: Force2Vec trains through minibatch row slices and sampled
+    #: negatives (``run_on``), which always execute in natural order — the
+    #: tier only accelerates full-adjacency ``step`` calls, so non-"none"
+    #: values mostly add plan-build cost here ("auto" is measured against
+    #: the full graph, not the minibatch path).
+    reorder: str = "none"
     num_threads: int = 1
     #: worker processes of the sharded execution tier (0 = in-process);
     #: see :mod:`repro.runtime.workers`
@@ -85,6 +93,7 @@ class Force2VecConfig:
                 f"unknown kernel backend {self.kernel_backend!r}; "
                 f"expected one of {KERNEL_BACKENDS}"
             )
+        validate_reorder(self.reorder)
         if self.dim <= 0 or self.batch_size <= 0 or self.epochs < 0:
             raise ShapeError("dim and batch_size must be positive, epochs non-negative")
         if self.negative_samples < 0:
@@ -139,14 +148,21 @@ class Force2Vec:
             num_threads=self.config.num_threads,
             cache_size=4,
             processes=self.config.processes,
+            # Panel geometry / reorder sweeps size against the real
+            # embedding dimension, not the 128 default.
+            autotune_dim=self.config.dim,
         )
         self._sig_stream = self._runtime.epochs(
             self.adjacency,
             pattern="sigmoid_embedding",
             backend=self.config.kernel_backend,
+            reorder=self.config.reorder,
         )
         self._agg_stream = self._runtime.epochs(
-            self.adjacency, pattern="gcn", backend=self.config.kernel_backend
+            self.adjacency,
+            pattern="gcn",
+            backend=self.config.kernel_backend,
+            reorder=self.config.reorder,
         )
         self.history: List[EpochStats] = []
 
@@ -265,6 +281,12 @@ class Force2Vec:
             if callback is not None:
                 callback(stats)
         return self.embeddings.astype(np.float32)
+
+    # ------------------------------------------------------------------ #
+    def runtime_stats(self) -> dict:
+        """The trainer's :meth:`KernelRuntime.stats` snapshot — plan-cache
+        hit rate, scheduling counters, shard-tier state."""
+        return self._runtime.stats()
 
     # ------------------------------------------------------------------ #
     def average_epoch_seconds(self) -> float:

@@ -32,7 +32,7 @@ from ..errors import BackendError, ShapeError
 from ..graphs.features import uniform_features
 from ..graphs.graph import Graph
 from ..runtime import KernelRuntime
-from ..sparse import CSRMatrix
+from ..sparse import CSRMatrix, validate_reorder
 from .sampling import NegativeSampler
 
 __all__ = ["FRLayoutConfig", "FRLayout"]
@@ -53,6 +53,9 @@ class FRLayoutConfig:
     backend: str = "fused"
     #: kernel backend of the fused path (:data:`repro.core.BACKENDS`)
     kernel_backend: str = "auto"
+    #: locality tier of the full-graph layout plan
+    #: (:data:`repro.sparse.REORDER_CHOICES`)
+    reorder: str = "none"
     num_threads: int = 1
     #: worker processes of the sharded execution tier (0 = in-process)
     processes: int = 0
@@ -67,6 +70,7 @@ class FRLayoutConfig:
                 f"unknown kernel backend {self.kernel_backend!r}; "
                 f"expected one of {KERNEL_BACKENDS}"
             )
+        validate_reorder(self.reorder)
         if self.dim <= 0 or self.iterations < 0:
             raise ShapeError("dim must be positive and iterations non-negative")
         if not 0.0 < self.cooling <= 1.0:
@@ -95,13 +99,22 @@ class FRLayout:
             num_threads=self.config.num_threads,
             cache_size=4,
             processes=self.config.processes,
+            # Panel geometry / reorder sweeps size against the layout
+            # dimension (typically 2), not the 128 default.
+            autotune_dim=self.config.dim,
         )
         self._force_stream = self._runtime.epochs(
             self.adjacency,
             pattern="fr_layout",
             backend=self.config.kernel_backend,
+            reorder=self.config.reorder,
         )
         self.iteration_seconds: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    def runtime_stats(self) -> dict:
+        """The driver's :meth:`KernelRuntime.stats` snapshot."""
+        return self._runtime.stats()
 
     # ------------------------------------------------------------------ #
     def _attractive(self, P32: np.ndarray) -> np.ndarray:

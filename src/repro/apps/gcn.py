@@ -30,7 +30,7 @@ from ..errors import BackendError, ShapeError
 from ..runtime import KernelRuntime
 from ..graphs.features import xavier_init
 from ..graphs.graph import Graph
-from ..sparse import CSRMatrix
+from ..sparse import CSRMatrix, validate_reorder
 
 __all__ = ["GCNConfig", "GCN", "normalize_adjacency", "GCN_BACKENDS"]
 
@@ -69,6 +69,8 @@ class GCNConfig:
     backend: str = "fused"
     #: kernel backend of the fused aggregation (:data:`repro.core.BACKENDS`)
     kernel_backend: str = "auto"
+    #: locality tier of the aggregation plan (:data:`repro.sparse.REORDER_CHOICES`)
+    reorder: str = "none"
     num_threads: int = 1
     #: worker processes of the sharded execution tier (0 = in-process)
     processes: int = 0
@@ -81,6 +83,7 @@ class GCNConfig:
                 f"unknown kernel backend {self.kernel_backend!r}; "
                 f"expected one of {KERNEL_BACKENDS}"
             )
+        validate_reorder(self.reorder)
         if self.hidden_dim <= 0:
             raise ShapeError("hidden_dim must be positive")
 
@@ -121,12 +124,25 @@ class GCN:
         # forward/backward SpMM reuses the cached plan (sharded over worker
         # processes when ``processes`` is set).
         self._runtime = KernelRuntime(
-            num_threads=cfg.num_threads, cache_size=4, processes=cfg.processes
+            num_threads=cfg.num_threads,
+            cache_size=4,
+            processes=cfg.processes,
+            # Two of the three aggregations per epoch run at hidden_dim,
+            # so panel geometry / reorder sweeps size against it.
+            autotune_dim=cfg.hidden_dim,
         )
         self._agg_stream = self._runtime.epochs(
-            self.A_hat, pattern="gcn", backend=cfg.kernel_backend
+            self.A_hat,
+            pattern="gcn",
+            backend=cfg.kernel_backend,
+            reorder=cfg.reorder,
         )
         self.history: List[Dict[str, float]] = []
+
+    # ------------------------------------------------------------------ #
+    def runtime_stats(self) -> Dict[str, object]:
+        """The model's :meth:`KernelRuntime.stats` snapshot."""
+        return self._runtime.stats()
 
     # ------------------------------------------------------------------ #
     def _aggregate(self, M: np.ndarray) -> np.ndarray:

@@ -26,7 +26,7 @@ from ..errors import BackendError, ShapeError
 from ..graphs.features import random_features
 from ..graphs.graph import Graph
 from ..runtime import KernelRuntime
-from ..sparse import CSRMatrix
+from ..sparse import CSRMatrix, validate_reorder
 from .force2vec import EpochStats
 from .sampling import NegativeSampler, minibatch_indices
 
@@ -45,6 +45,12 @@ class VerseConfig:
     seed: int = 0
     #: kernel backend of the FusedMM calls (:data:`repro.core.BACKENDS`)
     kernel_backend: str = "auto"
+    #: locality tier of the similarity-matrix plans
+    #: (:data:`repro.sparse.REORDER_CHOICES`).  VERSE trains through
+    #: minibatch row slices (``run_on``), which always execute in natural
+    #: order — the tier only accelerates full-matrix ``step`` calls, so
+    #: non-"none" values mostly add plan-build cost here.
+    reorder: str = "none"
     num_threads: int = 1
     #: worker processes of the sharded execution tier (0 = in-process)
     processes: int = 0
@@ -59,6 +65,7 @@ class VerseConfig:
                 f"unknown kernel backend {self.kernel_backend!r}; "
                 f"expected one of {KERNEL_BACKENDS}"
             )
+        validate_reorder(self.reorder)
 
 
 class Verse:
@@ -86,14 +93,21 @@ class Verse:
             num_threads=self.config.num_threads,
             cache_size=4,
             processes=self.config.processes,
+            # Panel geometry / reorder sweeps size against the real
+            # embedding dimension, not the 128 default.
+            autotune_dim=self.config.dim,
         )
         self._sig_stream = self._runtime.epochs(
             self.similarity,
             pattern="sigmoid_embedding",
             backend=self.config.kernel_backend,
+            reorder=self.config.reorder,
         )
         self._agg_stream = self._runtime.epochs(
-            self.similarity, pattern="gcn", backend=self.config.kernel_backend
+            self.similarity,
+            pattern="gcn",
+            backend=self.config.kernel_backend,
+            reorder=self.config.reorder,
         )
         self.history: List[EpochStats] = []
 
@@ -151,6 +165,10 @@ class Verse:
         )
         self.history.append(stats)
         return stats
+
+    def runtime_stats(self) -> dict:
+        """The trainer's :meth:`KernelRuntime.stats` snapshot."""
+        return self._runtime.stats()
 
     def train(self, epochs: Optional[int] = None) -> np.ndarray:
         """Train and return the learned embeddings."""

@@ -4,6 +4,7 @@ pytest-benchmark targets."""
 from .harness import compare_kernels, kernel_callables, make_operands
 from .jit_bench import bench_jit_speedup
 from .record import bench_environment, load_benchmark, record_benchmark
+from .reorder_bench import bench_reorder_locality
 from .report import ExperimentReport, comparison_block, load_results, save_results
 from .runtime_bench import (
     bench_batch_packing,
@@ -21,6 +22,7 @@ __all__ = [
     "load_benchmark",
     "bench_shard_scaling",
     "bench_jit_speedup",
+    "bench_reorder_locality",
     "compare_paths",
     "compare_records",
     "MetricDelta",

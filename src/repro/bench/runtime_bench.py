@@ -91,6 +91,7 @@ def bench_plan_cache(
         "warm_s": warm_s,
         "speedup": cold_s / max(warm_s, 1e-12),
         "cache_hits": stats["plan_cache"]["hits"],
+        "cache_hit_rate": stats["plan_cache"]["hit_rate"],
     }
 
 
@@ -141,6 +142,7 @@ def bench_batch_packing(
         "batch_s": batch_s,
         "speedup": seq_s / max(batch_s, 1e-12),
         "packed_requests": stats["packed_requests"],
+        "cache_hit_rate": stats["plan_cache"]["hit_rate"],
     }
 
 

@@ -11,8 +11,13 @@ Sub-commands
                   batch-packing throughput of the kernel runtime;
                   ``bench shard``: multi-process shard scaling;
                   ``bench jit``: JIT backend speedup vs the NumPy backends;
+                  ``bench reorder``: locality tier — vertex reordering +
+                  cache-blocked execution vs the natural ordering;
                   ``bench compare``: diff BENCH_*.json trend records and
                   gate on regressions)
+``runtime``       runtime observability (``runtime stats``: drive a
+                  KernelRuntime through an epoch workload and print its
+                  counters — plan-cache hit rate, scheduling, shard tier)
 ``report``        regenerate EXPERIMENTS.md style results (all experiments,
                   scaled down) and write them to a Markdown file
 
@@ -178,6 +183,68 @@ def _cmd_bench_jit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_reorder(args: argparse.Namespace) -> int:
+    from .bench.reorder_bench import bench_reorder_locality
+
+    rows = bench_reorder_locality(
+        num_nodes=args.nodes,
+        avg_degree=args.avg_degree,
+        dim=args.dim,
+        repeats=args.repeats,
+        pattern=args.pattern,
+        strategies=args.strategies,
+    )
+    print(format_table(rows, title="Locality tier (reordering + cache blocking)"))
+    if args.json:
+        from .bench.record import record_benchmark
+
+        print(f"wrote {record_benchmark('reorder', rows, path=args.json)}")
+    return 0
+
+
+def _cmd_runtime_stats(args: argparse.Namespace) -> int:
+    from .graphs import rmat
+    from .graphs.features import random_features
+    from .runtime import KernelRuntime
+
+    epochs = max(1, args.epochs)
+    runtime = KernelRuntime(
+        num_threads=args.threads,
+        processes=args.processes,
+        reorder=args.reorder,
+        autotune_dim=args.dim,
+    )
+    try:
+        A = rmat(args.nodes, args.nodes * args.avg_degree, seed=0)
+        X = random_features(A.nrows, args.dim, seed=0)
+        # run() exercises the plan cache each epoch; run_sharded() also
+        # routes through the worker tier so its counters show activity.
+        for _ in range(epochs):
+            if args.processes > 0:
+                runtime.run_sharded(A, X, pattern=args.pattern)
+            else:
+                runtime.run(A, X, pattern=args.pattern)
+        stats = runtime.stats()
+    finally:
+        runtime.close()
+    cache = stats.pop("plan_cache")
+    workers = stats.pop("workers")
+    rows = [{"section": "plan_cache", **cache}]
+    if workers is not None:
+        rows.append({"section": "workers", **workers})
+    print(
+        format_table(
+            rows,
+            title=(
+                f"KernelRuntime stats after {epochs} epochs "
+                f"({args.pattern}, n={args.nodes})"
+            ),
+        )
+    )
+    print(format_table([stats], title="Runtime counters"))
+    return 0
+
+
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
     from .bench.trend import compare_paths, render_report
 
@@ -270,6 +337,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench_jit.add_argument("--json", metavar="PATH", default=None)
     p_bench_jit.set_defaults(func=_cmd_bench_jit)
 
+    p_bench_re = bench_sub.add_parser(
+        "reorder", help="locality tier: reordering + cache blocking vs natural order"
+    )
+    p_bench_re.add_argument("--nodes", type=int, default=50_000)
+    p_bench_re.add_argument("--avg-degree", type=int, default=16)
+    p_bench_re.add_argument("--dim", type=int, default=128)
+    p_bench_re.add_argument("--repeats", type=int, default=3)
+    from .sparse import REORDER_CHOICES, REORDER_STRATEGIES
+
+    p_bench_re.add_argument("--pattern", default="sigmoid_embedding")
+    p_bench_re.add_argument(
+        "--strategies",
+        nargs="+",
+        choices=list(REORDER_STRATEGIES),
+        default=["none", "degree", "rcm", "hub"],
+    )
+    p_bench_re.add_argument("--json", metavar="PATH", default=None)
+    p_bench_re.set_defaults(func=_cmd_bench_reorder)
+
     p_bench_cmp = bench_sub.add_parser(
         "compare", help="diff BENCH_*.json trend records, gate on regressions"
     )
@@ -279,6 +365,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench_cmp.add_argument("--min-seconds", type=float, default=5e-3)
     p_bench_cmp.add_argument("--no-fail", action="store_true")
     p_bench_cmp.set_defaults(func=_cmd_bench_compare)
+
+    p_runtime = sub.add_parser("runtime", help="runtime observability")
+    runtime_sub = p_runtime.add_subparsers(dest="runtime_command", required=True)
+    p_rt_stats = runtime_sub.add_parser(
+        "stats", help="drive a KernelRuntime through an epoch workload, print stats"
+    )
+    p_rt_stats.add_argument("--nodes", type=int, default=5_000)
+    p_rt_stats.add_argument("--avg-degree", type=int, default=8)
+    p_rt_stats.add_argument("--dim", type=int, default=32)
+    p_rt_stats.add_argument("--epochs", type=int, default=5)
+    p_rt_stats.add_argument("--pattern", default="sigmoid_embedding")
+    p_rt_stats.add_argument("--threads", type=int, default=1)
+    p_rt_stats.add_argument("--processes", type=int, default=0)
+    p_rt_stats.add_argument(
+        "--reorder", choices=list(REORDER_CHOICES), default="none"
+    )
+    p_rt_stats.set_defaults(func=_cmd_runtime_stats)
 
     p_report = sub.add_parser("report", help="regenerate the experiments report")
     p_report.add_argument("--output", default="EXPERIMENTS_GENERATED.md")

@@ -27,6 +27,7 @@ from .batch import KernelRequest, PackedBatch, pack_requests
 from .cache import CacheStats, PlanCache
 from .fingerprint import (
     clear_fingerprint_memo,
+    derived_fingerprint,
     fingerprint_memo_info,
     matrix_fingerprint,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "pattern_key",
     "build_plan",
     "matrix_fingerprint",
+    "derived_fingerprint",
     "fingerprint_memo_info",
     "clear_fingerprint_memo",
 ]

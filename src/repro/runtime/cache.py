@@ -1,14 +1,22 @@
 """LRU cache of FusedMM execution plans.
 
 One entry per ``(matrix fingerprint, pattern, backend, num_threads,
-block_size, strategy, autotune)`` combination — the full key under which a
-plan's resolution, partitioning and tuning decisions are valid.  Repeated
-calls on the same adjacency (the every-epoch training-loop case) hit the
-cache and skip straight to kernel execution.
+block_size, strategy, autotune, reorder)`` combination — the full key
+under which a plan's resolution, partitioning, tuning and locality
+(vertex-reordering) decisions are valid.  Repeated calls on the same
+adjacency (the every-epoch training-loop case) hit the cache and skip
+straight to kernel execution; asking for a different ``reorder=`` strategy
+is a different plan, so bitwise-exact (``"none"``) and reordered plans
+coexist without invalidating each other.
 
-The cache is bounded and evicts least-recently-used plans; hit/miss/
-eviction counts are tracked so tests and dashboards can observe cache
-effectiveness.
+The cache is bounded twice — by entry count and by *retained bytes* —
+and evicts least-recently-used plans.  The byte bound exists for the
+locality tier: a reordered plan pins a permuted copy of its adjacency
+plus compacted panels (roughly 2× the matrix), so a count bound alone
+would let a serving loop over many large graphs grow without limit.
+Entries report their weight through an optional ``retained_bytes()``
+method; plans without one weigh zero.  Hit/miss/eviction counts are
+tracked so tests and dashboards can observe cache effectiveness.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ class CacheStats:
     evictions: int
     size: int
     capacity: int
+    retained_bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -45,22 +54,45 @@ class CacheStats:
             "evictions": self.evictions,
             "size": self.size,
             "capacity": self.capacity,
+            "retained_bytes": self.retained_bytes,
             "hit_rate": round(self.hit_rate, 4),
         }
+
+
+#: Default ceiling on the bytes cached plans may retain (permuted
+#: matrices + panels of the locality tier).  The most-recent entry is
+#: always kept even when it alone exceeds the budget — a cache that
+#: refused the plan just built would defeat its purpose.
+DEFAULT_BYTE_BUDGET = 2 * 1024 * 1024 * 1024
 
 
 class PlanCache:
     """Thread-safe LRU mapping of plan keys to execution plans."""
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(
+        self, capacity: int = 64, *, byte_budget: int = DEFAULT_BYTE_BUDGET
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        if byte_budget < 1:
+            raise ValueError(f"byte_budget must be >= 1, got {byte_budget}")
         self.capacity = capacity
+        self.byte_budget = byte_budget
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        # Entry weights, computed once at insert (plans are immutable
+        # after build — weighing panel lists on every put/stats would be
+        # O(entries × panels)).
+        self._weights: Dict[Hashable, int] = {}
+        self._retained = 0
         self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+
+    @staticmethod
+    def _weight(plan) -> int:
+        weigh = getattr(plan, "retained_bytes", None)
+        return int(weigh()) if callable(weigh) else 0
 
     # ------------------------------------------------------------------ #
     def get(self, key: Hashable):
@@ -76,21 +108,33 @@ class PlanCache:
             return plan
 
     def put(self, key: Hashable, plan) -> None:
-        """Insert a plan, evicting the least-recently-used entry if full."""
+        """Insert a plan, evicting least-recently-used entries while the
+        cache is over its entry count or its retained-byte budget."""
+        weight = self._weight(plan)
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self._entries[key] = plan
+                self._retained += weight - self._weights[key]
+                self._weights[key] = weight
                 return
-            if len(self._entries) >= self.capacity:
-                self._entries.popitem(last=False)
-                self._evictions += 1
             self._entries[key] = plan
+            self._weights[key] = weight
+            self._retained += weight
+            while len(self._entries) > 1 and (
+                len(self._entries) > self.capacity
+                or self._retained > self.byte_budget
+            ):
+                evicted, _ = self._entries.popitem(last=False)
+                self._retained -= self._weights.pop(evicted)
+                self._evictions += 1
 
     def clear(self) -> None:
         """Drop every cached plan (counters are kept)."""
         with self._lock:
             self._entries.clear()
+            self._weights.clear()
+            self._retained = 0
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -115,4 +159,5 @@ class PlanCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 capacity=self.capacity,
+                retained_bytes=self._retained,
             )

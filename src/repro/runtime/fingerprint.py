@@ -26,7 +26,12 @@ from typing import Dict
 
 from ..sparse import CSRMatrix, as_csr
 
-__all__ = ["matrix_fingerprint", "fingerprint_memo_info", "clear_fingerprint_memo"]
+__all__ = [
+    "matrix_fingerprint",
+    "derived_fingerprint",
+    "fingerprint_memo_info",
+    "clear_fingerprint_memo",
+]
 
 _MEMO: Dict[int, str] = {}
 _MEMO_LOCK = threading.Lock()
@@ -70,6 +75,18 @@ def matrix_fingerprint(A, *, use_memo: bool = True) -> str:
     with _MEMO_LOCK:
         _MEMO[obj_id] = digest
     return digest
+
+
+def derived_fingerprint(fingerprint: str, tag: str) -> str:
+    """Key for a matrix *derived deterministically* from a fingerprinted one.
+
+    The locality tier ships the reordered adjacency to the shard workers
+    under ``derived_fingerprint(fp, "reorder=degree")`` and the like: the
+    permuted matrix is a pure function of (content, strategy), so deriving
+    the key is exact and avoids re-hashing O(nnz) bytes that the original
+    fingerprint already covers.
+    """
+    return f"{fingerprint}|{tag}"
 
 
 def fingerprint_memo_info() -> Dict[str, int]:

@@ -22,7 +22,12 @@ on.  It owns
   (:mod:`repro.runtime.shard`) and executed by a persistent pool of worker
   processes (:mod:`repro.runtime.workers`) that hold the CSR matrix in
   shared memory — the escape hatch from the GIL for kernels too small to
-  amortise NumPy's internal threading.
+  amortise NumPy's internal threading;
+* a **locality tier** (``reorder=``): plans can bind a vertex-reordered
+  copy of the adjacency plus cache-blocked, column-compacted row panels
+  (:mod:`repro.sparse.reorder`), computed once per matrix fingerprint and
+  replayed every epoch — outputs are transparently mapped back to the
+  original vertex order.
 
 Determinism
 -----------
@@ -30,7 +35,11 @@ Scheduling decisions (split counts, partition boundaries, packing, shard
 assignment) depend only on the requests themselves — never on how many
 worker threads or processes the runtime happens to own — so results are
 bitwise identical across thread *and* shard counts, extending the
-invariant documented in :mod:`repro.core.parallel`.
+invariant documented in :mod:`repro.core.parallel`.  The locality tier
+(``reorder=`` other than ``"none"``) deliberately trades the *bitwise*
+part for throughput: reordered results are allclose-equivalent (exact at
+float64 up to reassociation) and remain deterministic for a fixed
+strategy and execution path.
 """
 
 from __future__ import annotations
@@ -45,10 +54,10 @@ import numpy as np
 from ..core.parallel import available_threads
 from ..core.partition import RowPartition, part1d
 from ..core.patterns import OpPattern, get_pattern
-from ..sparse import as_csr
+from ..sparse import as_csr, validate_reorder
 from .batch import KernelRequest, pack_group_key, pack_requests
 from .cache import CacheStats, PlanCache
-from .fingerprint import matrix_fingerprint
+from .fingerprint import derived_fingerprint, matrix_fingerprint
 from .plan import (
     KernelPlan,
     PlanKey,
@@ -122,7 +131,11 @@ class EpochStream:
 
         When the runtime owns a worker pool (``processes=``) and the bound
         adjacency is large enough, the call runs through the sharded
-        multi-process tier — bitwise identically to the in-process path.
+        multi-process tier — bitwise identically to the in-process path
+        for ``reorder="none"`` plans.  Reordered plans are allclose
+        across the two paths (the in-process path executes compacted
+        panels, the sharded path natural-order kernels on the permuted
+        matrix), each path deterministic in itself.
         """
         t0 = time.perf_counter()
         Z = self._runtime._execute_plan_auto(self.plan, self.A, X, Y)
@@ -163,6 +176,12 @@ class KernelRuntime:
         Capacity of the plan LRU.
     autotune:
         Default autotuning policy for new plans (overridable per call).
+    reorder:
+        Default locality strategy for new plans (overridable per call):
+        ``"none"`` (default, bitwise-exact), an explicit strategy from
+        :data:`repro.sparse.REORDER_STRATEGIES`, or ``"auto"`` (measured
+        once per plan; picked only when faster).  See
+        :mod:`repro.sparse.reorder`.
     pack_nnz, split_nnz, max_split:
         nnz-aware scheduling thresholds; see :mod:`repro.runtime.batch`.
     processes:
@@ -202,6 +221,7 @@ class KernelRuntime:
         cache_size: int = 64,
         autotune: bool = False,
         autotune_dim: int = 128,
+        reorder: str = "none",
         pack_small: bool = True,
         pack_nnz: int = DEFAULT_PACK_NNZ,
         pack_dense_elems: int = DEFAULT_PACK_DENSE_ELEMS,
@@ -217,6 +237,7 @@ class KernelRuntime:
         self.num_threads = num_threads or available_threads()
         self.autotune = autotune
         self.autotune_dim = autotune_dim
+        self.reorder = validate_reorder(reorder)
         self.pack_small = pack_small
         self.pack_nnz = pack_nnz
         self.pack_dense_elems = pack_dense_elems
@@ -330,9 +351,16 @@ class KernelRuntime:
         block_size: Optional[int] = None,
         strategy: str = "auto",
         autotune: Optional[bool] = None,
+        reorder: Optional[str] = None,
         **pattern_overrides,
     ) -> KernelPlan:
-        """Fetch (or build and cache) the execution plan for ``A``."""
+        """Fetch (or build and cache) the execution plan for ``A``.
+
+        ``reorder`` selects the locality tier for this plan (default: the
+        runtime's ``reorder`` setting); the permutation, panels and any
+        measured sweep happen once here and are replayed by every
+        execution of the cached plan.
+        """
         A = as_csr(A)
         op_pattern = get_pattern(pattern, **pattern_overrides)
         resolved = op_pattern.resolved()
@@ -344,6 +372,7 @@ class KernelRuntime:
             block_size=block_size or 0,
             strategy=strategy,
             autotune=self.autotune if autotune is None else bool(autotune),
+            reorder=self.reorder if reorder is None else reorder,
         )
         plan = self._cache.get(key)
         if plan is not None:
@@ -423,7 +452,8 @@ class KernelRuntime:
 
     def _execute_plan_auto(self, plan: KernelPlan, A, X, Y) -> np.ndarray:
         """Epoch-stream execution: sharded tier when enabled and worthwhile,
-        the in-process path otherwise — bitwise identical either way."""
+        the in-process path otherwise — bitwise identical either way for
+        ``reorder="none"`` plans, allclose for reordered ones."""
         if self._sharding_eligible(plan, A):
             Z = self._execute_plan_sharded(plan, A, X, Y)
             if Z is not None:
@@ -446,6 +476,12 @@ class KernelRuntime:
         never drift apart.  Operands are *not* copied here — the pool
         detects ``Y is X`` aliasing on the original objects and copies
         exactly once into shared memory.
+
+        For a reordered plan the tier ships the *permuted* matrix (under a
+        strategy-derived key) and builds the shards from the permuted
+        cache-panel partitions — reordered matrices nnz-balance better, so
+        shard skew drops.  The caller permutes the operands and maps the
+        gathered output back via the returned plan handle.
         """
         workers = self.workers
         if workers is None or not plan.supports_parts:
@@ -454,12 +490,24 @@ class KernelRuntime:
         if spec is None:
             return None
         A = as_csr(A)
+        reordered = (
+            parts is None
+            and plan.reorder != "none"
+            and plan.reordered is not None
+            and plan.matches_bound(A)
+        )
+        if reordered:
+            # Workers execute the permuted matrix with natural-order
+            # kernels; the permuted panel boundaries are the shard units.
+            A = plan.reordered
+            key = derived_fingerprint(plan.key.fingerprint, f"reorder={plan.reorder}")
+        else:
+            key = plan.key.fingerprint if parts is None else matrix_fingerprint(A)
         partitions = plan.partitions if parts is None else parts
         nshards = self.shards if shards is None else int(shards)
         nshards = max(1, min(nshards, workers.processes))
         shard_plan = assign_shards(partitions, nshards)
-        key = plan.key.fingerprint if parts is None else matrix_fingerprint(A)
-        return workers, key, A, spec, shard_plan
+        return workers, key, A, spec, shard_plan, (plan if reordered else None)
 
     def _execute_plan_sharded(
         self,
@@ -484,9 +532,14 @@ class KernelRuntime:
         prep = self._prepare_sharded(plan, A, shards=shards, parts=parts)
         if prep is None:
             return None
-        workers, key, A, spec, shard_plan = prep
+        workers, key, A, spec, shard_plan, rplan = prep
+        if rplan is not None:
+            X, Y = rplan.permute_operands(X, Y)
         self._bump("sharded_jobs")
-        return workers.run_sharded(key, A, spec, shard_plan, X, Y, keep=keep)
+        Z = workers.run_sharded(key, A, spec, shard_plan, X, Y, keep=keep)
+        if rplan is not None:
+            Z = Z[rplan.inv_perm]
+        return Z
 
     def shard_plan(self, A, *, shards: Optional[int] = None, **plan_opts) -> ShardPlan:
         """The shard assignment a sharded call on ``A`` would use."""
@@ -501,9 +554,12 @@ class KernelRuntime:
         """One-shot planned execution through the multi-process tier.
 
         Bitwise identical to :meth:`run` (and to sequential
-        :func:`~repro.core.fused.fusedmm`); falls back to the in-process
-        path when the runtime has no worker pool (``processes=0``) or the
-        pattern cannot cross a process boundary.
+        :func:`~repro.core.fused.fusedmm`) for ``reorder="none"`` plans;
+        reordered plans are allclose to :meth:`run` — the workers execute
+        natural-order kernels on the permuted matrix, deterministically
+        for any shard count.  Falls back to the in-process path when the
+        runtime has no worker pool (``processes=0``) or the pattern
+        cannot cross a process boundary.
         """
         self._bump("requests")
         plan = self.plan(A, **plan_opts)
@@ -533,9 +589,25 @@ class KernelRuntime:
             except BaseException as exc:  # pragma: no cover - propagated
                 fut.set_exception(exc)
             return fut
-        workers, key, A, spec, shard_plan = prep
+        workers, key, A, spec, shard_plan, rplan = prep
+        if rplan is not None:
+            X, Y = rplan.permute_operands(X, Y)
         self._bump("sharded_jobs")
-        return workers.submit_sharded(key, A, spec, shard_plan, X, Y, keep=True)
+        raw = workers.submit_sharded(key, A, spec, shard_plan, X, Y, keep=True)
+        if rplan is None:
+            return raw
+        # Map the gathered permuted output back to original vertex order
+        # when the worker-side future resolves.
+        mapped: "Future[np.ndarray]" = Future()
+
+        def _finish(fut: "Future[np.ndarray]") -> None:
+            try:
+                mapped.set_result(fut.result()[rplan.inv_perm])
+            except BaseException as exc:
+                mapped.set_exception(exc)
+
+        raw.add_done_callback(_finish)
+        return mapped
 
     def run(self, A, X=None, Y=None, **plan_opts) -> np.ndarray:
         """One-shot planned execution: ``Z = FusedMM(A, X, Y)``.
@@ -647,13 +719,18 @@ class KernelRuntime:
             cfg = self._config(req)
             if req.A.nnz > self.split_nnz and cfg.supports_parts:
                 # Worth a full (fingerprinted, LRU-cached) plan: the split
-                # partitioning is reused on repeated submissions.
+                # partitioning is reused on repeated submissions.  Batch
+                # requests are one-shot, so the locality tier has nothing
+                # to amortise against — reorder is pinned to "none", which
+                # also keeps run_batch's bitwise-identity promise intact
+                # under a runtime-wide reorder default.
                 cfg = self.plan(
                     req.A,
                     pattern=req.pattern,
                     backend=req.backend,
                     block_size=req.block_size,
                     strategy=req.strategy,
+                    reorder="none",
                     **dict(req.overrides),
                 )
                 larges.append(i)
@@ -777,6 +854,7 @@ class KernelRuntime:
             "pool_active": self._pool is not None,
             "processes": self.processes,
             "shards": self.shards,
+            "reorder": self.reorder,
             "workers": None if workers is None else workers.stats(),
             **counters,
         }

@@ -14,6 +14,9 @@ Public names
     Self-contained Matrix Market coordinate I/O.
 ``random_csr`` & friends
     Controlled random sparsity patterns for tests and benchmarks.
+``reorder_matrix`` / ``cache_block_partitions``
+    The locality tier: vertex reordering (RCM, degree sort, hub
+    clustering) and LLC-sized CSR row panels.
 """
 
 from .coo import COOMatrix
@@ -21,6 +24,20 @@ from .csr import CSRMatrix
 from .convert import as_coo, as_csr, from_networkx
 from .io import read_matrix_market, write_matrix_market
 from .random import banded_csr, block_diagonal_csr, random_bipartite, random_csr
+from .reorder import (
+    REORDER_CHOICES,
+    REORDER_STRATEGIES,
+    PanelBlock,
+    ReorderResult,
+    build_panels,
+    cache_block_partitions,
+    clear_reorder_memo,
+    permute_symmetric,
+    reorder_matrix,
+    reorder_memo_info,
+    reorder_permutation,
+    validate_reorder,
+)
 
 __all__ = [
     "COOMatrix",
@@ -34,4 +51,16 @@ __all__ = [
     "random_bipartite",
     "banded_csr",
     "block_diagonal_csr",
+    "REORDER_CHOICES",
+    "REORDER_STRATEGIES",
+    "ReorderResult",
+    "PanelBlock",
+    "build_panels",
+    "validate_reorder",
+    "reorder_permutation",
+    "permute_symmetric",
+    "reorder_matrix",
+    "reorder_memo_info",
+    "clear_reorder_memo",
+    "cache_block_partitions",
 ]
