@@ -1,0 +1,124 @@
+"""Micro-benchmark: vectorized vs loop ``cache_block_partitions``.
+
+The locality tier tiles (permuted) CSR matrices into cache-sized row
+panels.  The original implementation walked rows in a Python loop —
+fine at 50k nodes, seconds at millions.  This benchmark times the
+chunk-vectorized path against the loop reference on power-law graphs
+and **asserts the two produce identical panel boundaries** (the
+equivalence is also property-tested in ``tests/test_reorder.py``).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_cache_block.py [--quick] [--json PATH]
+
+Identity is always checked; the speedup target (vectorized >= 1.2x loop
+at >= 100k nodes) is informational under ``--quick``/``--no-check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench.record import record_benchmark  # noqa: E402
+from repro.bench.tables import format_table  # noqa: E402
+from repro.graphs import rmat  # noqa: E402
+from repro.sparse.reorder import cache_block_partitions, reorder_matrix  # noqa: E402
+
+DEFAULT_MIN_SPEEDUP = 1.2
+GATE_MIN_NODES = 100_000
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument("--avg-degree", type=int, default=8)
+    parser.add_argument("--dim", type=int, default=128)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP)
+    parser.add_argument("--json", metavar="PATH", default=None)
+    parser.add_argument("--no-check", action="store_true")
+    args = parser.parse_args(argv)
+
+    nodes = args.nodes or (20_000 if args.quick else 400_000)
+    repeats = args.repeats or (1 if args.quick else 3)
+
+    rows = []
+    failures = []
+    A = rmat(nodes, nodes * args.avg_degree, seed=1)
+    for label, M in [("natural", A), ("hub", reorder_matrix(A, "hub").matrix)]:
+        p_loop = cache_block_partitions(M, dim=args.dim, impl="loop")
+        p_vec = cache_block_partitions(M, dim=args.dim, impl="vectorized")
+        identical = p_loop == p_vec
+        if not identical:
+            failures.append(f"{label}: vectorized boundaries differ from the loop")
+        t_loop = _time(
+            lambda: cache_block_partitions(M, dim=args.dim, impl="loop"), repeats
+        )
+        t_vec = _time(
+            lambda: cache_block_partitions(M, dim=args.dim, impl="vectorized"),
+            repeats,
+        )
+        rows.append(
+            {
+                "ordering": label,
+                "nodes": M.nrows,
+                "nnz": M.nnz,
+                "dim": args.dim,
+                "panels": len(p_vec),
+                "loop_seconds": round(t_loop, 4),
+                "vectorized_seconds": round(t_vec, 4),
+                "speedup": round(t_loop / t_vec, 3) if t_vec > 0 else float("inf"),
+                "identical": identical,
+            }
+        )
+    print(format_table(rows, title="cache_block_partitions: vectorized vs loop"))
+
+    if args.json:
+        path = record_benchmark(
+            "cache_block",
+            rows,
+            path=args.json,
+            extra={"config": {"nodes": nodes, "dim": args.dim}},
+        )
+        print(f"wrote {path}")
+
+    gate_applies = not args.quick and nodes >= GATE_MIN_NODES
+    if gate_applies:
+        worst = min(rows, key=lambda r: r["speedup"])
+        if worst["speedup"] < args.min_speedup:
+            failures.append(
+                f"vectorized speedup {worst['speedup']:.2f}x ({worst['ordering']}) "
+                f"< required {args.min_speedup:.1f}x"
+            )
+    if failures and not args.no_check:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    if failures:
+        print("targets missed (reported only)")
+    elif not gate_applies:
+        print("quick/tiny run: identity verified, speedup gate skipped")
+    else:
+        print("cache-block vectorization targets met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

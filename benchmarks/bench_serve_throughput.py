@@ -1,0 +1,141 @@
+"""Benchmark: async serving tier — micro-batching vs serial dispatch.
+
+Runs :func:`repro.bench.serve_bench.bench_serve_throughput` — an
+in-process ``repro serve`` instance under N closed-loop HTTP clients,
+once with ``max_batch=1`` (one-request-at-a-time dispatch) and once with
+micro-batching — and gates on the repo's acceptance criterion: coalesced
+throughput ≥ 1.5× serial at ≥ 8 concurrent clients.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py [--quick] [--json PATH]
+
+or via the CLI: ``python -m repro bench serve``.  The speedup gate is
+skipped on single-core hosts (serialising everything onto one core hides
+exactly the concurrency micro-batching converts into batch parallelism)
+and under ``--quick``; **bitwise correctness against locally computed
+kernels is always checked** — every response is compared to a sequential
+``fusedmm`` reference before it counts towards throughput.  ``--json``
+writes a machine-readable ``BENCH_serve.json`` via
+:mod:`repro.bench.record`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench.record import record_benchmark  # noqa: E402
+from repro.bench.serve_bench import (  # noqa: E402
+    DEFAULT_MIN_SPEEDUP,
+    GATE_MIN_CLIENTS,
+    bench_serve_throughput,
+)
+from repro.bench.tables import format_table  # noqa: E402
+from repro.core.parallel import available_threads  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument("--requests", type=int, default=None, help="per client")
+    parser.add_argument("--nodes", type=int, default=96)
+    parser.add_argument("--dim", type=int, default=8)
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=DEFAULT_MIN_SPEEDUP,
+        help="required coalesced-over-serial throughput ratio",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write BENCH_serve.json-style results to PATH",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="report only; do not fail on missed targets",
+    )
+    args = parser.parse_args(argv)
+
+    clients = args.clients or (4 if args.quick else 8)
+    requests = args.requests or (10 if args.quick else 40)
+
+    rows = bench_serve_throughput(
+        clients=clients,
+        requests_per_client=requests,
+        nodes=args.nodes,
+        dim=args.dim,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    )
+    print(format_table(rows, title="Serving throughput (micro-batching vs serial)"))
+
+    if args.json:
+        path = record_benchmark(
+            "serve",
+            rows,
+            path=args.json,
+            extra={
+                "config": {
+                    "clients": clients,
+                    "requests_per_client": requests,
+                    "nodes": args.nodes,
+                    "dim": args.dim,
+                }
+            },
+        )
+        print(f"wrote {path}")
+
+    failures = []
+    for r in rows:
+        if not r["bitwise_identical"]:
+            failures.append(
+                f"mode {r['mode']}: responses drifted from the sequential "
+                f"fusedmm reference ({r.get('errors', 'value mismatch')})"
+            )
+    cpus = available_threads()
+    gate_applies = (
+        not args.quick and cpus > 1 and clients >= GATE_MIN_CLIENTS
+    )
+    coalesced = next((r for r in rows if r["mode"] == "coalesced"), None)
+    if gate_applies and coalesced is not None:
+        speedup = coalesced.get("speedup_vs_serial", 0.0)
+        if speedup < args.min_speedup:
+            failures.append(
+                f"coalesced speedup {speedup:.2f}x < required "
+                f"{args.min_speedup:.1f}x ({clients} clients, {cpus} cpus)"
+            )
+        else:
+            print(f"micro-batching: {speedup:.2f}x vs one-request-at-a-time")
+
+    if failures and not args.no_check:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    if failures:
+        print("targets missed (reported only)")
+    elif not gate_applies:
+        print(
+            "single-core host or quick run: bitwise identity verified, "
+            "throughput gate skipped"
+        )
+    else:
+        print("serving targets met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

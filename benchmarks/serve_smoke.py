@@ -1,0 +1,146 @@
+"""Serving smoke: a real ``repro serve`` process under concurrent clients.
+
+Unlike the in-process benchmark, this drives the *actual deployment
+artifact*: ``python -m repro serve`` as a subprocess, hit over real
+sockets by concurrent threads, then drained with SIGTERM.  Asserts:
+
+* ``/healthz`` answers 200 once the registry is warm;
+* concurrent ``/v1/kernel`` (inline graph, binary payloads) and
+  ``/v1/embed`` requests all answer 200 with correct results (kernel
+  responses bitwise-equal to a local sequential reference);
+* ``/statz`` shows coalescer activity (every request accounted for);
+* SIGTERM drains gracefully (exit code 0, goodbye line on stdout).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+
+Used by the CI ``serve-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.core.fused import fusedmm  # noqa: E402
+from repro.graphs.features import random_features  # noqa: E402
+from repro.serve import ServeClient, wait_until_healthy  # noqa: E402
+from repro.sparse import random_csr  # noqa: E402
+
+HOST = "127.0.0.1"
+PORT = 8765
+CLIENTS = 6
+REQUESTS_PER_CLIENT = 5
+
+
+def main() -> int:
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            HOST,
+            "--port",
+            str(PORT),
+            "--models",
+            "cora",
+            "--scale",
+            "0.1",
+            "--max-batch",
+            "16",
+        ],
+        cwd=_ROOT,
+        env={**__import__("os").environ, "PYTHONPATH": str(_SRC)},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    failures: list[str] = []
+    try:
+        if not wait_until_healthy(HOST, PORT, timeout=120.0):
+            print(proc.stdout.read() if proc.stdout else "")
+            print("FAIL: server never became healthy", file=sys.stderr)
+            return 1
+        print("healthz: ok")
+
+        problems = []
+        for i in range(4):
+            A = random_csr(80, 80, density=0.05, seed=i)
+            X = random_features(80, 8, seed=100 + i)
+            problems.append((A, X, fusedmm(A, X, X, pattern="sigmoid_embedding")))
+
+        def _client(cid: int) -> None:
+            try:
+                with ServeClient(HOST, PORT, timeout=60.0) as client:
+                    for r in range(REQUESTS_PER_CLIENT):
+                        A, X, Z_ref = problems[(cid + r) % len(problems)]
+                        Z = client.kernel(graph=A, X=X, binary=True)
+                        if not np.array_equal(Z, Z_ref):
+                            failures.append(f"client {cid}: kernel result drifted")
+                    rows = client.embed("cora-force2vec", [0, 1, 2])
+                    if rows.shape != (3, 32):
+                        failures.append(f"client {cid}: embed shape {rows.shape}")
+            except Exception as exc:  # noqa: BLE001
+                failures.append(f"client {cid}: {type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=_client, args=(c,)) for c in range(CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = CLIENTS * REQUESTS_PER_CLIENT
+
+        with ServeClient(HOST, PORT, timeout=30.0) as client:
+            stats = client.statz()
+        coal = stats["coalescer"]
+        print(
+            f"served {total} kernel requests: batches={coal['batches']} "
+            f"occupancy={coal['mean_window_occupancy']} "
+            f"wait_p99={coal['wait_ms_p99']}ms "
+            f"hit_rate={stats['plan_cache_hit_rate']}"
+        )
+        if coal["completed"] < total:
+            failures.append(
+                f"coalescer completed {coal['completed']} < {total} submitted"
+            )
+        if coal["failed"] or coal["rejected_queue_full"]:
+            failures.append(f"unexpected failures in stats: {coal}")
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            out, _ = proc.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            out, _ = proc.communicate()
+            failures.append("server did not drain within 60s of SIGTERM")
+
+    if "drained, bye" not in (out or ""):
+        failures.append(f"no graceful-drain goodbye in server output:\n{out}")
+    if proc.returncode not in (0, -signal.SIGTERM):
+        failures.append(f"server exited with {proc.returncode}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("serving smoke: all requests 200, stats consistent, drain clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -288,6 +288,12 @@ class Force2Vec:
         hit rate, scheduling counters, shard-tier state."""
         return self._runtime.stats()
 
+    def serve_output(self) -> np.ndarray:
+        """The servable per-vertex matrix (the learned embeddings) — the
+        uniform lookup surface :mod:`repro.serve`'s model registry reads
+        behind ``/v1/embed/<model>``."""
+        return self.embeddings.astype(np.float32)
+
     # ------------------------------------------------------------------ #
     def average_epoch_seconds(self) -> float:
         """Mean wall-clock seconds per epoch over the recorded history (the

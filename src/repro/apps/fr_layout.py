@@ -116,6 +116,12 @@ class FRLayout:
         """The driver's :meth:`KernelRuntime.stats` snapshot."""
         return self._runtime.stats()
 
+    def serve_output(self) -> np.ndarray:
+        """The servable per-vertex matrix (the layout positions) — the
+        uniform lookup surface :mod:`repro.serve`'s model registry reads
+        behind ``/v1/embed/<model>``."""
+        return self.positions.astype(np.float32)
+
     # ------------------------------------------------------------------ #
     def _attractive(self, P32: np.ndarray) -> np.ndarray:
         """Attractive displacements via the fr_layout FusedMM pattern."""

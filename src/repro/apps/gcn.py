@@ -144,6 +144,12 @@ class GCN:
         """The model's :meth:`KernelRuntime.stats` snapshot."""
         return self._runtime.stats()
 
+    def serve_output(self) -> np.ndarray:
+        """The servable per-vertex matrix (class probabilities) — the
+        uniform lookup surface :mod:`repro.serve`'s model registry reads
+        behind ``/v1/embed/<model>``."""
+        return self.forward()["P"].astype(np.float32)
+
     # ------------------------------------------------------------------ #
     def _aggregate(self, M: np.ndarray) -> np.ndarray:
         """``Â · M`` with the configured backend."""

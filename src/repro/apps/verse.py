@@ -170,6 +170,12 @@ class Verse:
         """The trainer's :meth:`KernelRuntime.stats` snapshot."""
         return self._runtime.stats()
 
+    def serve_output(self) -> np.ndarray:
+        """The servable per-vertex matrix (the learned embeddings) — the
+        uniform lookup surface :mod:`repro.serve`'s model registry reads
+        behind ``/v1/embed/<model>``."""
+        return self.embeddings.astype(np.float32)
+
     def train(self, epochs: Optional[int] = None) -> np.ndarray:
         """Train and return the learned embeddings."""
         epochs = self.config.epochs if epochs is None else epochs

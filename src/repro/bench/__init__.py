@@ -16,6 +16,18 @@ from .sweep import DegreeSweepItem, degree_sweep_graphs, dimension_sweep
 from .tables import format_markdown_table, format_table, format_value
 from .trend import MetricDelta, TrendReport, compare_paths, compare_records
 
+
+def __getattr__(name: str):
+    # Lazy: the serving benchmark pulls in the whole repro.serve +
+    # asyncio/http stack, which the other benchmarks don't need — and
+    # whose import-graph size measurably perturbs their GC-sensitive
+    # sub-millisecond timing windows.
+    if name == "bench_serve_throughput":
+        from .serve_bench import bench_serve_throughput
+
+        return bench_serve_throughput
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "bench_environment",
     "record_benchmark",
@@ -23,6 +35,7 @@ __all__ = [
     "bench_shard_scaling",
     "bench_jit_speedup",
     "bench_reorder_locality",
+    "bench_serve_throughput",
     "compare_paths",
     "compare_records",
     "MetricDelta",

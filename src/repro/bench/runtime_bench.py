@@ -18,6 +18,7 @@ Two measurements, exposed to both ``repro bench runtime`` and the
 
 from __future__ import annotations
 
+import gc
 import time
 from typing import Dict, List, Optional
 
@@ -38,6 +39,11 @@ __all__ = [
 
 
 def _mean_seconds(fn, repeats: int) -> float:
+    # Pay down collector debt from setup/allocation before timing: these
+    # windows are sub-millisecond, and a cyclic-GC pass landing inside
+    # one (its cost scales with the whole process's object count, i.e.
+    # with whatever else happens to be imported) would swamp the signal.
+    gc.collect()
     total = 0.0
     for _ in range(max(1, repeats)):
         t0 = time.perf_counter()

@@ -13,11 +13,19 @@ Sub-commands
                   ``bench jit``: JIT backend speedup vs the NumPy backends;
                   ``bench reorder``: locality tier — vertex reordering +
                   cache-blocked execution vs the natural ordering;
+                  ``bench serve``: serving throughput — micro-batching
+                  coalescer vs one-request-at-a-time dispatch;
                   ``bench compare``: diff BENCH_*.json trend records and
                   gate on regressions)
 ``runtime``       runtime observability (``runtime stats``: drive a
                   KernelRuntime through an epoch workload and print its
-                  counters — plan-cache hit rate, scheduling, shard tier)
+                  counters — plan-cache hit rate, scheduling, shard tier;
+                  ``--serve`` also drives the micro-batching coalescer and
+                  prints its window/queue metrics)
+``serve``         start the async HTTP serving front-end: request
+                  coalescing + micro-batching over the kernel runtime
+                  (``/v1/kernel``, ``/v1/embed/<model>``, ``/healthz``,
+                  ``/statz``)
 ``report``        regenerate EXPERIMENTS.md style results (all experiments,
                   scaled down) and write them to a Markdown file
 
@@ -202,6 +210,46 @@ def _cmd_bench_reorder(args: argparse.Namespace) -> int:
     return 0
 
 
+def _drive_coalescer(runtime, args: argparse.Namespace) -> dict:
+    """Push a concurrent mixed workload through a Coalescer and return
+    its window/queue metrics (batches formed, mean occupancy, p50/p99
+    wait) — the serving tier's health counters, observable without
+    standing up an HTTP server."""
+    import asyncio
+
+    from .graphs.features import random_features
+    from .runtime import KernelRequest
+    from .serve import Coalescer
+    from .sparse import random_csr
+
+    problems = []
+    for i in range(8):
+        A = random_csr(96, 96, density=4.0 / 96, seed=i)
+        problems.append((A, random_features(96, args.dim, seed=100 + i)))
+
+    async def _workload() -> dict:
+        coalescer = Coalescer(runtime, max_batch=16, max_wait_ms=2.0)
+        try:
+
+            async def _client(cid: int) -> None:
+                for r in range(args.epochs):
+                    A, X = problems[(cid + r) % len(problems)]
+                    await coalescer.submit(
+                        KernelRequest(A=A, X=X, pattern=args.pattern)
+                    )
+
+            await asyncio.gather(*(_client(c) for c in range(8)))
+            await coalescer.drain()
+            # Snapshot through the runtime: while attached, the section
+            # rides runtime.stats() — the same surface the apps'
+            # runtime_stats() and /statz expose.
+            return runtime.stats()["coalescer"]
+        finally:
+            coalescer.close()
+
+    return asyncio.run(_workload())
+
+
 def _cmd_runtime_stats(args: argparse.Namespace) -> int:
     from .graphs import rmat
     from .graphs.features import random_features
@@ -224,7 +272,9 @@ def _cmd_runtime_stats(args: argparse.Namespace) -> int:
                 runtime.run_sharded(A, X, pattern=args.pattern)
             else:
                 runtime.run(A, X, pattern=args.pattern)
+        coalescer_stats = _drive_coalescer(runtime, args) if args.serve else None
         stats = runtime.stats()
+        stats.pop("coalescer", None)
     finally:
         runtime.close()
     cache = stats.pop("plan_cache")
@@ -242,6 +292,66 @@ def _cmd_runtime_stats(args: argparse.Namespace) -> int:
         )
     )
     print(format_table([stats], title="Runtime counters"))
+    if coalescer_stats is not None:
+        print(
+            format_table(
+                [coalescer_stats],
+                title="Coalescer (micro-batching windows, admission queue)",
+            )
+        )
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from .bench.serve_bench import bench_serve_throughput
+
+    rows = bench_serve_throughput(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        nodes=args.nodes,
+        dim=args.dim,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    )
+    print(format_table(rows, title="Serving throughput (micro-batching vs serial)"))
+    if args.json:
+        from .bench.record import record_benchmark
+
+        print(f"wrote {record_benchmark('serve', rows, path=args.json)}")
+    return 0 if all(r["bitwise_identical"] for r in rows) else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import DEFAULT_MODELS, KernelServer, ModelSpec, ServeConfig
+
+    if args.models is None:
+        models = DEFAULT_MODELS
+    elif args.models == []:
+        models = ()
+    else:
+        models = tuple(
+            ModelSpec(
+                name=f"{name}-{args.app}",
+                dataset=name,
+                app=args.app,
+                dim=args.model_dim,
+                scale=args.scale,
+                train_epochs=args.train_epochs,
+            )
+            for name in args.models
+        )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.deadline_ms,
+        num_threads=args.threads,
+        processes=args.processes,
+        models=models,
+    )
+    KernelServer(config).run()
     return 0
 
 
@@ -356,6 +466,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench_re.add_argument("--json", metavar="PATH", default=None)
     p_bench_re.set_defaults(func=_cmd_bench_reorder)
 
+    p_bench_sv = bench_sub.add_parser(
+        "serve", help="serving throughput: micro-batching vs serial dispatch"
+    )
+    p_bench_sv.add_argument("--clients", type=int, default=8)
+    p_bench_sv.add_argument("--requests", type=int, default=25, help="per client")
+    p_bench_sv.add_argument("--nodes", type=int, default=96)
+    p_bench_sv.add_argument("--dim", type=int, default=8)
+    p_bench_sv.add_argument("--max-batch", type=int, default=32)
+    p_bench_sv.add_argument("--max-wait-ms", type=float, default=2.0)
+    p_bench_sv.add_argument("--json", metavar="PATH", default=None)
+    p_bench_sv.set_defaults(func=_cmd_bench_serve)
+
     p_bench_cmp = bench_sub.add_parser(
         "compare", help="diff BENCH_*.json trend records, gate on regressions"
     )
@@ -381,7 +503,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_rt_stats.add_argument(
         "--reorder", choices=list(REORDER_CHOICES), default="none"
     )
+    p_rt_stats.add_argument(
+        "--serve",
+        action="store_true",
+        help="also drive the micro-batching coalescer and print its "
+        "window/queue metrics",
+    )
     p_rt_stats.set_defaults(func=_cmd_runtime_stats)
+
+    p_serve = sub.add_parser(
+        "serve", help="start the async micro-batching HTTP serving front-end"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8571)
+    p_serve.add_argument("--max-batch", type=int, default=32)
+    p_serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    p_serve.add_argument("--max-queue", type=int, default=256)
+    p_serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=0.0,
+        help="default per-request deadline (0 = none)",
+    )
+    p_serve.add_argument("--threads", type=int, default=1)
+    p_serve.add_argument("--processes", type=int, default=0)
+    p_serve.add_argument(
+        "--models",
+        nargs="*",
+        default=None,
+        metavar="DATASET",
+        help="datasets to pre-load as models (default: the built-in set; "
+        "pass no values to serve kernels only)",
+    )
+    p_serve.add_argument(
+        "--app",
+        choices=["force2vec", "verse", "gcn", "fr_layout"],
+        default="force2vec",
+        help="application trained for --models entries",
+    )
+    p_serve.add_argument("--model-dim", type=int, default=32)
+    p_serve.add_argument("--scale", type=float, default=0.25)
+    p_serve.add_argument("--train-epochs", type=int, default=1)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_report = sub.add_parser("report", help="regenerate the experiments report")
     p_report.add_argument("--output", default="EXPERIMENTS_GENERATED.md")

@@ -66,3 +66,35 @@ class WorkerError(ReproError, RuntimeError):
 class WorkerCrashError(WorkerError):
     """Raised when a worker process dies unexpectedly (killed, segfault,
     OOM).  The pool respawns the worker; the in-flight call is lost."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """Base class of serving-subsystem failures (:mod:`repro.serve`).
+
+    Each concrete subclass carries the HTTP status the front-end answers
+    with, so admission-control outcomes map to wire responses in exactly
+    one place."""
+
+    http_status = 500
+
+
+class QueueFullError(ServeError):
+    """Raised when the coalescer's admission queue is at capacity — the
+    server answers 429 so overload sheds load instead of growing the
+    queue (and every queued request's latency) without bound."""
+
+    http_status = 429
+
+
+class DrainingError(ServeError):
+    """Raised for requests arriving after shutdown began; the server
+    answers 503 while in-flight work finishes."""
+
+    http_status = 503
+
+
+class DeadlineError(ServeError):
+    """Raised when a request's deadline expired before its kernel was
+    dispatched; the server answers 504 without doing the work."""
+
+    http_status = 504

@@ -10,6 +10,8 @@ This package is the serving/scheduling layer above :mod:`repro.core`:
 ``workers``      persistent multiprocessing pool with shared-memory CSR
 ``runtime``      :class:`KernelRuntime` — run / submit / run_batch / epochs
                  / run_sharded / submit_sharded
+``aio``          asyncio bridge: await pool/worker futures and run_batch
+                 from coroutines (the serving subsystem's entry point)
 
 Typical usage::
 
@@ -23,6 +25,7 @@ Typical usage::
         H = stream.step(H)
 """
 
+from .aio import run_batch_async, submit_sharded_async, wrap_runtime_future
 from .batch import KernelRequest, PackedBatch, pack_requests
 from .cache import CacheStats, PlanCache
 from .fingerprint import (
@@ -57,4 +60,7 @@ __all__ = [
     "derived_fingerprint",
     "fingerprint_memo_info",
     "clear_fingerprint_memo",
+    "wrap_runtime_future",
+    "run_batch_async",
+    "submit_sharded_async",
 ]

@@ -262,6 +262,11 @@ class KernelRuntime:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        # Named live stats callables merged into stats() — the serving
+        # layer attaches its coalescer here so queue/window health is
+        # observable through every surface that already reads runtime
+        # stats (``repro runtime stats``, the apps' ``runtime_stats()``).
+        self._stats_sections: Dict[str, object] = {}
         self._counters: Dict[str, int] = {
             "requests": 0,
             "batches": 0,
@@ -842,12 +847,29 @@ class KernelRuntime:
         """Drop all cached plans."""
         self._cache.clear()
 
+    def attach_stats_section(self, name: str, provider) -> None:
+        """Merge ``provider()`` into :meth:`stats` under ``name``.
+
+        Attached providers are called on every :meth:`stats` read, so
+        layers built on the runtime (the serving coalescer, future queue
+        tiers) surface their health through the same observability
+        surfaces the runtime already has.  Re-attaching a name replaces
+        the previous provider; attach ``None`` to detach.
+        """
+        with self._stats_lock:
+            if provider is None:
+                self._stats_sections.pop(name, None)
+            else:
+                self._stats_sections[name] = provider
+
     def stats(self) -> Dict[str, object]:
         """Runtime-wide counters + plan-cache stats (for logs/monitoring)."""
         with self._stats_lock:
             counters = dict(self._counters)
+            sections = dict(self._stats_sections)
         with self._workers_lock:
             workers = self._workers
+        extra = {name: provider() for name, provider in sections.items()}
         return {
             "plan_cache": self.cache_stats().as_dict(),
             "num_threads": self.num_threads,
@@ -857,6 +879,7 @@ class KernelRuntime:
             "reorder": self.reorder,
             "workers": None if workers is None else workers.stats(),
             **counters,
+            **extra,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,223 @@
+"""Blocking HTTP client for the serving front-end (bench, smoke, tests).
+
+A deliberately thin wrapper over :mod:`http.client` — stdlib only, one
+persistent keep-alive connection per instance, so N closed-loop benchmark
+clients are N sockets hammering the coalescer exactly the way real
+traffic would.  Not thread-safe: give each client thread its own
+instance.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .protocol import array_from_npy, encode_array, npy_bytes
+
+__all__ = ["ServeClient", "ServeHTTPError", "wait_until_healthy"]
+
+_JSON = "application/json"
+_NPY = "application/x-npy"
+
+
+class ServeHTTPError(RuntimeError):
+    """A non-2xx response; carries the status and decoded error message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """One keep-alive connection to a ``repro serve`` instance."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8571, *, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------ #
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ):
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            payload = response.read()
+        except (http.client.HTTPException, OSError):
+            # Keep-alive connection went stale (server restarted, drain
+            # closed it): retry once on a fresh socket.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            payload = response.read()
+        return response, payload
+
+    def _checked(self, method: str, path: str, body=None, headers=None):
+        response, payload = self._request(method, path, body=body, headers=headers)
+        if response.status >= 300:
+            try:
+                message = json.loads(payload).get(
+                    "error", payload.decode("utf-8", "replace")
+                )
+            except Exception:
+                message = payload.decode("utf-8", "replace")
+            raise ServeHTTPError(response.status, str(message))
+        return response, payload
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> Dict[str, object]:
+        _, payload = self._checked("GET", "/healthz")
+        return json.loads(payload)
+
+    def statz(self) -> Dict[str, object]:
+        _, payload = self._checked("GET", "/statz")
+        return json.loads(payload)
+
+    def kernel(
+        self,
+        *,
+        model: Optional[str] = None,
+        graph=None,
+        X: Optional[np.ndarray] = None,
+        Y: Optional[np.ndarray] = None,
+        pattern: str = "sigmoid_embedding",
+        backend: str = "auto",
+        deadline_ms: Optional[float] = None,
+        binary: bool = True,
+    ) -> np.ndarray:
+        """``Z = FusedMM(A, X, Y)`` over the wire.
+
+        ``binary=True`` ships operands base64-npy inside the JSON envelope
+        and asks for a raw ``.npy`` response (bitwise-faithful round
+        trip); ``binary=False`` uses nested-list JSON end to end.
+        """
+        payload: Dict[str, object] = {"pattern": pattern, "backend": backend}
+        if model is not None:
+            payload["model"] = model
+        if graph is not None:
+            payload["graph"] = (
+                graph
+                if isinstance(graph, dict)
+                else {
+                    "shape": [graph.nrows, graph.ncols],
+                    "indptr": encode_array(graph.indptr, binary=binary),
+                    "indices": encode_array(graph.indices, binary=binary),
+                    "data": encode_array(graph.data, binary=binary),
+                }
+            )
+        if X is not None:
+            payload["x"] = encode_array(np.asarray(X), binary=binary)
+        if Y is not None:
+            payload["y"] = encode_array(np.asarray(Y), binary=binary)
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if binary:
+            payload["response"] = "npy"
+        body = json.dumps(payload).encode("utf-8")
+        _, raw = self._checked(
+            "POST", "/v1/kernel", body=body, headers={"Content-Type": _JSON}
+        )
+        if binary:
+            return array_from_npy(raw)
+        doc = json.loads(raw)
+        z = doc["z"]
+        return np.asarray(z["data"], dtype=z.get("dtype", "float32"))
+
+    def kernel_npy(
+        self,
+        X: np.ndarray,
+        *,
+        model: str,
+        pattern: str = "sigmoid_embedding",
+        backend: str = "auto",
+    ) -> np.ndarray:
+        """The raw-npy fast path: ``X`` as the body, the rest in the query."""
+        path = (
+            f"/v1/kernel?model={model}&pattern={pattern}"
+            f"&backend={backend}&response=npy"
+        )
+        _, raw = self._checked(
+            "POST", path, body=npy_bytes(np.asarray(X)), headers={"Content-Type": _NPY}
+        )
+        return array_from_npy(raw)
+
+    def embed(
+        self,
+        model: str,
+        ids: Optional[Sequence[int]] = None,
+        *,
+        binary: bool = True,
+    ) -> np.ndarray:
+        """Rows of a registered model's servable output matrix."""
+        payload: Dict[str, object] = {}
+        if ids is not None:
+            payload["ids"] = [int(i) for i in ids]
+        if binary:
+            payload["response"] = "npy"
+        body = json.dumps(payload).encode("utf-8")
+        _, raw = self._checked(
+            "POST",
+            f"/v1/embed/{model}",
+            body=body,
+            headers={"Content-Type": _JSON},
+        )
+        if binary:
+            return array_from_npy(raw)
+        doc = json.loads(raw)
+        e = doc["embeddings"]
+        return np.asarray(e["data"], dtype=e.get("dtype", "float32"))
+
+    def models(self) -> List[str]:
+        return [m["name"] for m in self.statz().get("models", [])]
+
+
+def wait_until_healthy(
+    host: str, port: int, *, timeout: float = 30.0, interval: float = 0.1
+) -> bool:
+    """Poll ``/healthz`` until it answers 200 or ``timeout`` passes."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with ServeClient(host, port, timeout=2.0) as client:
+                if client.healthz().get("status") == "ok":
+                    return True
+        except (OSError, ServeHTTPError, socket.timeout):
+            pass
+        time.sleep(interval)
+    return False

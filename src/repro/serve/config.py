@@ -1,0 +1,232 @@
+"""Configuration of the serving subsystem.
+
+:class:`ServeConfig` is the single knob surface for everything between a
+client socket and a kernel invocation: the coalescer's window geometry
+(``max_batch``, ``max_wait_ms``), admission control (``max_queue``,
+``default_deadline_ms``), the runtime the windows dispatch into
+(threads / worker processes / shard threshold) and the model registry
+(which named graphs and app models are pre-loaded and kept warm).
+
+The four applications consume the same config: :class:`ModelSpec.build`
+constructs a Force2Vec / VERSE / GCN / FR-layout instance whose app config
+inherits the serve-level runtime knobs, so one ``ServeConfig`` describes
+the whole deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from ..errors import BackendError, ShapeError
+from ..sparse import validate_reorder
+
+__all__ = ["ModelSpec", "ServeConfig", "DEFAULT_MODELS"]
+
+#: The app kinds the registry can build (one per application class).
+APP_KINDS = ("force2vec", "verse", "gcn", "fr_layout")
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One named, pre-loaded model of the registry.
+
+    ``name`` is the handle clients use (``/v1/embed/<name>``,
+    ``"model": "<name>"`` in ``/v1/kernel`` payloads).  ``dataset`` names a
+    graph from :func:`repro.graphs.list_datasets`; ``app`` selects which
+    application trains the servable output matrix (embeddings, positions
+    or class probabilities).  ``train_epochs`` is deliberately tiny by
+    default — serving wants warm plans and a servable matrix, not a
+    converged model; redeploy with more epochs when quality matters.
+    """
+
+    name: str
+    dataset: str
+    app: str = "force2vec"
+    dim: int = 32
+    scale: float = 0.25
+    train_epochs: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise ShapeError(
+                f"model name must be non-empty and slash-free: {self.name!r}"
+            )
+        if self.app not in APP_KINDS:
+            raise BackendError(
+                f"unknown app kind {self.app!r}; expected one of {APP_KINDS}"
+            )
+        if self.dim <= 0 or self.train_epochs < 0 or self.scale <= 0:
+            raise ShapeError(
+                "dim and scale must be positive, train_epochs non-negative"
+            )
+
+    def build(self, config: "ServeConfig"):
+        """Instantiate the app behind this model with the serve-level
+        runtime knobs (threads, processes, kernel backend, reorder).
+
+        Returns ``(graph, app_instance)``; training happened, the app's
+        plans are warm, and its servable output matrix is available via
+        ``serve_output()``.
+        """
+        from ..graphs.datasets import load_dataset
+
+        load_kwargs = {"scale": self.scale}
+        if self.app == "gcn":
+            # GCN needs node features; give the synthetic twin random ones.
+            load_kwargs["feature_dim"] = max(self.dim, 8)
+        graph = load_dataset(self.dataset, **load_kwargs)
+        common = dict(
+            dim=self.dim,
+            seed=self.seed,
+            num_threads=config.num_threads,
+            processes=config.processes,
+            kernel_backend=config.kernel_backend,
+            reorder=config.reorder,
+        )
+        if self.app == "force2vec":
+            from ..apps import Force2Vec, Force2VecConfig
+
+            app = Force2Vec(
+                graph, Force2VecConfig(epochs=self.train_epochs, **common)
+            )
+            app.train()
+        elif self.app == "verse":
+            from ..apps import Verse, VerseConfig
+
+            app = Verse(graph, VerseConfig(epochs=self.train_epochs, **common))
+            app.train(self.train_epochs)
+        elif self.app == "gcn":
+            from ..apps import GCN, GCNConfig
+
+            common.pop("dim")
+            app = GCN(graph, config=GCNConfig(hidden_dim=self.dim, **common))
+            app.fit(epochs=max(self.train_epochs, 1))
+        else:  # fr_layout
+            from ..apps import FRLayout, FRLayoutConfig
+
+            app = FRLayout(
+                graph, FRLayoutConfig(iterations=self.train_epochs, **common)
+            )
+            app.run()
+        return graph, app
+
+
+#: Default registry: one embedding model per application on the two
+#: smallest synthetic datasets — enough to serve real lookups and keep the
+#: kernel plans warm without meaningful startup cost.
+DEFAULT_MODELS: Tuple[ModelSpec, ...] = (
+    ModelSpec(name="cora-f2v", dataset="cora", app="force2vec"),
+    ModelSpec(name="cora-gcn", dataset="cora", app="gcn"),
+    ModelSpec(name="pubmed-verse", dataset="pubmed", app="verse", scale=0.1),
+    ModelSpec(name="cora-layout", dataset="cora", app="fr_layout", dim=2),
+)
+
+
+@dataclass
+class ServeConfig:
+    """Everything the serving subsystem needs to come up.
+
+    Coalescing
+    ----------
+    ``max_batch``
+        Upper bound on requests coalesced into one dispatch window.
+        ``1`` disables micro-batching (every request dispatches alone —
+        the baseline the serve benchmark compares against).
+    ``max_wait_ms``
+        How long an open window waits for more requests before it
+        dispatches anyway.  The tail-latency cost of batching: a lone
+        request is delayed at most this long.
+
+    Admission control
+    -----------------
+    ``max_queue``
+        Bound on requests admitted but not yet dispatched; beyond it the
+        server answers ``429`` so overload sheds load instead of growing
+        latency without bound.
+    ``default_deadline_ms``
+        Deadline applied to requests that don't carry their own
+        (``0`` = none).  Requests whose deadline expires while queued are
+        answered ``504`` without running the kernel.
+    ``drain_timeout_s``
+        Grace period for in-flight work on shutdown.
+
+    Runtime
+    -------
+    ``num_threads`` / ``processes`` / ``shard_min_nnz`` / ``kernel_backend``
+    / ``reorder`` configure the :class:`~repro.runtime.KernelRuntime` the
+    coalescer dispatches into; single jobs at or above ``shard_min_nnz``
+    route through ``submit_sharded`` instead of a window.  ``reorder``
+    applies to *model training* plans only: the request path always plans
+    with ``reorder="none"`` so coalesced responses stay bitwise identical
+    to serial execution.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8571
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    #: early flush this long after the *last* arrival (bursty traffic
+    #: coalesces without paying the full window wait); 0 disables
+    idle_flush_ms: float = 0.25
+    max_queue: int = 256
+    default_deadline_ms: float = 0.0
+    drain_timeout_s: float = 10.0
+    #: dispatcher threads executing flushed windows / large singles
+    dispatch_workers: int = 2
+    #: reject request bodies larger than this many bytes (413)
+    max_body_bytes: int = 64 * 1024 * 1024
+    num_threads: int = 1
+    processes: int = 0
+    shard_min_nnz: int = 16384
+    kernel_backend: str = "auto"
+    reorder: str = "none"
+    plan_cache_size: int = 128
+    models: Tuple[ModelSpec, ...] = field(default_factory=lambda: DEFAULT_MODELS)
+    #: patterns pre-planned against every registered graph at startup
+    warm_patterns: Tuple[str, ...] = ("sigmoid_embedding", "gcn", "spmm")
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ShapeError(f"max_batch must be >= 1, got {self.max_batch}")
+        if (
+            self.max_wait_ms < 0
+            or self.default_deadline_ms < 0
+            or self.idle_flush_ms < 0
+        ):
+            raise ShapeError(
+                "max_wait_ms, idle_flush_ms and default_deadline_ms must be >= 0"
+            )
+        if self.max_queue < 1:
+            raise ShapeError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.dispatch_workers < 1:
+            raise ShapeError(
+                f"dispatch_workers must be >= 1, got {self.dispatch_workers}"
+            )
+        if self.drain_timeout_s < 0:
+            raise ShapeError("drain_timeout_s must be >= 0")
+        validate_reorder(self.reorder)
+        names = [m.name for m in self.models]
+        if len(set(names)) != len(names):
+            raise ShapeError(f"duplicate model names in ServeConfig: {names}")
+
+    def with_models(self, *specs: ModelSpec) -> "ServeConfig":
+        """A copy of this config serving exactly ``specs``."""
+        return replace(self, models=tuple(specs))
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-able summary (the ``config`` block of ``/statz``)."""
+        return {
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+            "idle_flush_ms": self.idle_flush_ms,
+            "max_queue": self.max_queue,
+            "default_deadline_ms": self.default_deadline_ms,
+            "dispatch_workers": self.dispatch_workers,
+            "num_threads": self.num_threads,
+            "processes": self.processes,
+            "shard_min_nnz": self.shard_min_nnz,
+            "kernel_backend": self.kernel_backend,
+            "models": [m.name for m in self.models],
+        }

@@ -1,0 +1,110 @@
+"""Run a :class:`KernelServer` on a background thread (bench + tests).
+
+The benchmark's closed-loop clients and the test suite both need a live
+server inside the current process without blocking it.
+:class:`BackgroundServer` owns a private event loop on a daemon thread,
+starts the server there (``port=0`` → ephemeral), and tears everything
+down — graceful drain included — on :meth:`stop` / context exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from .config import ServeConfig
+from .server import KernelServer
+
+__all__ = ["BackgroundServer"]
+
+
+class BackgroundServer:
+    """An in-process ``repro serve`` instance on its own loop thread.
+
+    Example
+    -------
+    >>> from repro.serve import ServeConfig
+    >>> from repro.serve.runner import BackgroundServer
+    >>> with BackgroundServer(ServeConfig(port=0, models=())) as bg:
+    ...     port = bg.port   # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        *,
+        start_timeout: float = 120.0,
+    ) -> None:
+        self.server = KernelServer(config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+        self._start_timeout = start_timeout
+
+    # ------------------------------------------------------------------ #
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.config.host
+
+    def start(self) -> "BackgroundServer":
+        if self._thread is not None:
+            return self
+
+        async def _main() -> None:
+            try:
+                await self.server.start()
+            except BaseException as exc:  # registry/model failures
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._stop = asyncio.Event()
+            self._ready.set()
+            await self._stop.wait()
+            await self.server.shutdown()
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(_main())
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-serve-bg", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(self._start_timeout):
+            raise TimeoutError("background server did not start in time")
+        if self._startup_error is not None:
+            self._thread.join(timeout=5)
+            raise self._startup_error
+        return self
+
+    def run_coroutine(self, coro):
+        """Run ``coro`` on the server's loop, return its result (blocking)."""
+        assert self._loop is not None, "server not started"
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if self._thread is None or self._loop is None:
+            return
+        if self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout)
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

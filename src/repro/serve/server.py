@@ -1,0 +1,422 @@
+"""The asyncio HTTP serving front-end (``repro serve``).
+
+:class:`KernelServer` glues the pieces of :mod:`repro.serve` together:
+the :class:`~repro.serve.registry.ModelRegistry` (warm graphs, models and
+plans), the :class:`~repro.serve.coalescer.Coalescer` (micro-batching +
+admission control) and the handcrafted HTTP/1.1 layer of
+:mod:`repro.serve.protocol`.
+
+Endpoints
+---------
+``GET  /healthz``
+    ``200 {"status": "ok"}`` while serving, ``503`` once draining.
+``GET  /statz``
+    Coalescer stats (batches formed, mean window occupancy, p50/p99
+    queue wait), runtime stats (plan-cache hit rate, scheduling
+    counters, shard tier), model listing, uptime and config.
+``POST /v1/kernel``
+    One FusedMM execution.  JSON envelope::
+
+        {"pattern": "sigmoid_embedding",      # any registered pattern
+         "model": "cora-f2v",                 # a registered graph…
+         "graph": {"shape": [n, n], "indptr": [...],
+                   "indices": [...], "data": [...]},   # …or inline CSR
+         "x": [[...]] | {"npy_b64": "..."},   # operands (y optional)
+         "backend": "auto", "deadline_ms": 50,
+         "response": "json" | "npy"}
+
+    Alternatively ``Content-Type: application/x-npy`` with the raw
+    ``.npy`` X operand as the body and ``model``/``pattern`` in the query
+    string — the zero-copy fast path.  ``response: "npy"`` (or
+    ``Accept: application/x-npy``) returns the result as raw ``.npy``.
+``POST /v1/embed/<model>`` / ``GET /v1/embed/<model>?ids=0,5,7``
+    Rows of a registered model's servable output matrix (embeddings,
+    positions or class probabilities).
+
+Status mapping: admission queue full → 429, draining → 503, deadline
+expired → 504, malformed payloads/unknown names → 400/404, oversized
+bodies → 413.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError, ReproError, ServeError
+from ..runtime import KernelRequest
+from ..sparse import CSRMatrix
+from .coalescer import Coalescer
+from .config import ServeConfig
+from .protocol import (
+    HTTPRequest,
+    ProtocolError,
+    array_from_npy,
+    decode_array,
+    encode_array,
+    npy_bytes,
+    read_http_request,
+    write_http_response,
+)
+from .registry import ModelRegistry
+
+__all__ = ["KernelServer"]
+
+_JSON = "application/json"
+_NPY = "application/x-npy"
+
+
+def _json_body(payload: Dict[str, object]) -> bytes:
+    return json.dumps(payload).encode("utf-8")
+
+
+def _error_body(status: int, message: str) -> bytes:
+    return _json_body({"error": message, "status": status})
+
+
+class KernelServer:
+    """Asyncio HTTP server coalescing kernel traffic onto one runtime.
+
+    Typical lifecycle::
+
+        server = KernelServer(ServeConfig(port=8571))
+        server.run()          # load registry, serve until SIGINT, drain
+
+    or, embedded in an existing loop / the tests::
+
+        await server.start()          # registry.load() + listener up
+        ...
+        await server.shutdown()       # drain + close
+
+    ``port=0`` binds an ephemeral port; :attr:`port` reports the real one
+    once started.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.registry = ModelRegistry(self.config)
+        self.coalescer: Optional[Coalescer] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: "set[asyncio.Task]" = set()
+        self._started = time.monotonic()
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        return self.coalescer is not None and self.coalescer.draining
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "KernelServer":
+        """Load the registry (warm everything) and open the listener."""
+        if not self.registry.loaded:
+            self.registry.load()
+        self.coalescer = Coalescer(
+            self.registry.runtime,
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            idle_flush_ms=self.config.idle_flush_ms,
+            max_queue=self.config.max_queue,
+            shard_min_nnz=self.config.shard_min_nnz,
+            dispatch_workers=self.config.dispatch_workers,
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+        )
+        self._started = time.monotonic()
+        return self
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, close."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.coalescer is not None:
+            await self.coalescer.drain(timeout=self.config.drain_timeout_s)
+            self.coalescer.close()
+            self.coalescer = None
+        # Idle keep-alive connections are parked in read(); in-flight work
+        # is already drained, so cutting them now loses nothing.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self.registry.close()
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (the CLI wraps this with signal handling)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    def run(self) -> None:
+        """Blocking entry point: start, serve, drain on SIGINT/SIGTERM."""
+
+        async def _main() -> None:
+            await self.start()
+            loop = asyncio.get_running_loop()
+            stop = loop.create_future()
+
+            def _request_stop() -> None:
+                if not stop.done():
+                    stop.set_result(None)
+
+            import contextlib
+            import signal
+
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(NotImplementedError):
+                    loop.add_signal_handler(sig, _request_stop)
+            print(
+                f"repro serve: listening on http://{self.config.host}:{self.port} "
+                f"(models: {', '.join(self.registry.model_names()) or 'none'})",
+                flush=True,
+            )
+            await stop
+            print("repro serve: draining...", flush=True)
+            await self.shutdown()
+            print("repro serve: drained, bye", flush=True)
+
+        asyncio.run(_main())
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await read_http_request(
+                        reader, max_body_bytes=self.config.max_body_bytes
+                    )
+                except ProtocolError as exc:
+                    write_http_response(
+                        writer,
+                        exc.status,
+                        _error_body(exc.status, str(exc)),
+                        keep_alive=False,
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                status, body, ctype = await self._dispatch(request)
+                self.requests_served += 1
+                write_http_response(
+                    writer,
+                    status,
+                    body,
+                    content_type=ctype,
+                    keep_alive=request.keep_alive,
+                )
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown cut an idle keep-alive connection; close quietly.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):  # pragma: no cover - teardown races
+                pass
+
+    async def _dispatch(self, request: HTTPRequest) -> Tuple[int, bytes, str]:
+        """Route one request; returns ``(status, body, content_type)``."""
+        try:
+            if request.path == "/healthz":
+                if self.draining:
+                    return 503, _json_body({"status": "draining"}), _JSON
+                return 200, _json_body({"status": "ok"}), _JSON
+            if request.path == "/statz":
+                return 200, _json_body(self.statz()), _JSON
+            if request.path == "/v1/kernel":
+                if request.method != "POST":
+                    return 405, _error_body(405, "POST required"), _JSON
+                return await self._handle_kernel(request)
+            if request.path.startswith("/v1/embed/"):
+                if request.method not in ("GET", "POST"):
+                    return 405, _error_body(405, "GET or POST required"), _JSON
+                return self._handle_embed(request)
+            return 404, _error_body(404, f"no route for {request.path}"), _JSON
+        except ProtocolError as exc:
+            return exc.status, _error_body(exc.status, str(exc)), _JSON
+        except ServeError as exc:
+            return exc.http_status, _error_body(exc.http_status, str(exc)), _JSON
+        except DatasetError as exc:
+            # KeyError reprs its message; unwrap for a clean wire error.
+            message = exc.args[0] if exc.args else str(exc)
+            return 404, _error_body(404, str(message)), _JSON
+        except ReproError as exc:
+            return 400, _error_body(400, str(exc)), _JSON
+        except Exception as exc:  # pragma: no cover - defensive
+            return 500, _error_body(500, f"internal error: {exc}"), _JSON
+
+    # ------------------------------------------------------------------ #
+    # Endpoint handlers
+    # ------------------------------------------------------------------ #
+    def _resolve_adjacency(self, payload: dict, query: Dict[str, str]) -> CSRMatrix:
+        model = payload.get("model") or query.get("model")
+        if model is not None:
+            return self.registry.graph(str(model))
+        graph = payload.get("graph")
+        if graph is None:
+            raise ProtocolError(
+                "request needs 'model' (a registered graph) or an inline 'graph'"
+            )
+        if not isinstance(graph, dict):
+            raise ProtocolError("'graph' must be an object with CSR fields")
+        try:
+            shape = graph.get("shape")
+            indptr = decode_array(graph["indptr"], dtype=np.int64).astype(
+                np.int64, copy=False
+            )
+            indices = decode_array(graph["indices"], dtype=np.int64).astype(
+                np.int64, copy=False
+            )
+            data = decode_array(
+                graph.get("data", []), dtype=np.float32
+            ).astype(np.float32, copy=False)
+            if data.size == 0 and indices.size:
+                data = np.ones(indices.shape[0], dtype=np.float32)
+            nrows = int(shape[0]) if shape else indptr.shape[0] - 1
+            ncols = int(shape[1]) if shape else nrows
+            return CSRMatrix(nrows, ncols, indptr, indices, data)
+        except ReproError:
+            raise
+        except ProtocolError:
+            raise
+        except Exception as exc:
+            raise ProtocolError(f"malformed inline graph: {exc}") from exc
+
+    async def _handle_kernel(self, request: HTTPRequest) -> Tuple[int, bytes, str]:
+        assert self.coalescer is not None, "server not started"
+        ctype = request.headers.get("content-type", _JSON).split(";")[0].strip()
+        if ctype == _NPY:
+            payload: dict = {}
+            X: Optional[np.ndarray] = array_from_npy(request.body)
+        else:
+            payload = request.json()
+            X = None
+            if "x" in payload:
+                X = decode_array(payload["x"], dtype=np.float32)
+        Y = None
+        if "y" in payload:
+            Y = decode_array(payload["y"], dtype=np.float32)
+        A = self._resolve_adjacency(payload, request.query)
+        pattern = str(
+            payload.get("pattern")
+            or request.query.get("pattern")
+            or "sigmoid_embedding"
+        )
+        backend = str(payload.get("backend") or request.query.get("backend") or "auto")
+        raw_deadline = (
+            payload.get("deadline_ms")
+            or request.query.get("deadline_ms")
+            or request.headers.get("x-deadline-ms")
+            or self.config.default_deadline_ms
+            or 0.0
+        )
+        try:
+            deadline_ms = float(raw_deadline)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"invalid deadline_ms: {raw_deadline!r}") from exc
+        kernel_request = KernelRequest(
+            A=A, X=X, Y=Y, pattern=pattern, backend=backend
+        )
+        Z = await self.coalescer.submit(
+            kernel_request, deadline_ms=deadline_ms or None
+        )
+        wants_npy = (
+            payload.get("response") == "npy"
+            or request.query.get("response") == "npy"
+            or request.headers.get("accept", "").startswith(_NPY)
+        )
+        if wants_npy:
+            return 200, npy_bytes(Z), _NPY
+        body = _json_body(
+            {"shape": list(Z.shape), "pattern": pattern, "z": encode_array(Z)}
+        )
+        return 200, body, _JSON
+
+    def _handle_embed(self, request: HTTPRequest) -> Tuple[int, bytes, str]:
+        name = request.path[len("/v1/embed/") :]
+        payload = request.json() if request.method == "POST" else {}
+        ids = payload.get("ids")
+        try:
+            if ids is None and "ids" in request.query:
+                raw = request.query["ids"]
+                ids = [int(tok) for tok in raw.split(",") if tok] if raw else []
+            id_array = None if ids is None else np.asarray(ids, dtype=np.int64)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"invalid ids: {exc}") from exc
+        rows = self.registry.embeddings(name, id_array)
+        wants_npy = (
+            payload.get("response") == "npy"
+            or request.query.get("response") == "npy"
+            or request.headers.get("accept", "").startswith(_NPY)
+        )
+        if wants_npy:
+            return 200, npy_bytes(rows), _NPY
+        body = _json_body(
+            {
+                "model": name,
+                "shape": list(rows.shape),
+                "embeddings": encode_array(rows),
+            }
+        )
+        return 200, body, _JSON
+
+    # ------------------------------------------------------------------ #
+    def statz(self) -> Dict[str, object]:
+        """The ``/statz`` document (also used by tests and the CLI)."""
+        runtime_stats = self.registry.runtime.stats()
+        coalescer = runtime_stats.pop("coalescer", None)
+        if coalescer is None and self.coalescer is not None:
+            coalescer = self.coalescer.stats.as_dict()
+        cache = runtime_stats.get("plan_cache") or {}
+        hits = cache.get("hits", 0)
+        misses = cache.get("misses", 0)
+        return {
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "requests_served": self.requests_served,
+            "draining": self.draining,
+            "queued": 0 if self.coalescer is None else self.coalescer.queued,
+            "plan_cache_hit_rate": (
+                round(hits / (hits + misses), 4) if (hits + misses) else 0.0
+            ),
+            "coalescer": coalescer,
+            "runtime": runtime_stats,
+            "models": self.registry.describe(),
+            "registry_load_seconds": round(self.registry.load_seconds, 3),
+            "config": self.config.describe(),
+        }

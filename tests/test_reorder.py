@@ -133,6 +133,47 @@ def test_cache_block_partitions_respect_bounds(graph):
     assert sum(p.nnz for p in many) == A.nnz
 
 
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=300),
+    density=st.floats(min_value=0.0, max_value=0.3),
+    seed=st.integers(min_value=0, max_value=10_000),
+    dim=st.sampled_from([4, 32, 128]),
+    budget=st.sampled_from([1 << 10, 1 << 14, 1 << 20]),
+)
+def test_cache_block_vectorized_matches_loop(n, density, seed, dim, budget):
+    """The chunk-vectorized panel path is boundary-for-boundary identical
+    to the Python row loop (also asserted at scale by
+    ``benchmarks/bench_cache_block.py``)."""
+    A = random_csr(n, n, density=density, seed=seed)
+    loop = cache_block_partitions(
+        A, dim=dim, budget_bytes=budget, impl="loop"
+    )
+    vec = cache_block_partitions(
+        A, dim=dim, budget_bytes=budget, impl="vectorized"
+    )
+    assert loop == vec
+    auto = cache_block_partitions(A, dim=dim, budget_bytes=budget)
+    assert auto == loop
+
+
+def test_cache_block_vectorized_matches_loop_on_reordered(graph):
+    A, _ = graph
+    for strategy in CONCRETE:
+        Ap = reorder_matrix(A, strategy).matrix
+        assert cache_block_partitions(
+            Ap, dim=64, budget_bytes=1 << 15, impl="loop"
+        ) == cache_block_partitions(
+            Ap, dim=64, budget_bytes=1 << 15, impl="vectorized"
+        )
+
+
+def test_cache_block_rejects_unknown_impl(graph):
+    A, _ = graph
+    with pytest.raises(ValueError):
+        cache_block_partitions(A, impl="numba")
+
+
 def test_build_panels_localises_columns(graph):
     A, _ = graph
     parts = cache_block_partitions(A, dim=32, budget_bytes=1 << 16)
