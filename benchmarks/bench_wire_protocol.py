@@ -1,0 +1,133 @@
+"""Benchmark: binary wire protocol vs the HTTP/1.1 serving front-end.
+
+Runs :func:`repro.bench.serve_bench.bench_wire_vs_http` — one in-process
+server exposing both transports off the same coalescer, hammered by the
+same closed-loop client fleet over HTTP and over the framed wire protocol
+(pipelined) — and gates on the repo's acceptance criterion: wire ≥ 1.3×
+HTTP on tiny payloads.  The large-payload leg is a sanity check, not a
+gate: once kernel time dominates, the transports should converge.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_wire_protocol.py [--quick] [--json PATH]
+
+or via the CLI: ``python -m repro bench serve --wire``.  The speedup gate
+holds on any core count — it measures transport overhead, not
+parallelism — but is skipped under ``--no-check``; **bitwise correctness
+is always checked** on both legs and both transports.  ``--json`` writes
+a machine-readable ``BENCH_wire.json`` via :mod:`repro.bench.record`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench.record import record_benchmark  # noqa: E402
+from repro.bench.serve_bench import (  # noqa: E402
+    WIRE_MIN_SPEEDUP,
+    bench_wire_vs_http,
+)
+from repro.bench.tables import format_table  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument("--requests", type=int, default=None, help="per client")
+    parser.add_argument("--pipeline", type=int, default=4)
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=WIRE_MIN_SPEEDUP,
+        help="required tiny-payload wire-over-HTTP throughput ratio",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write BENCH_wire.json-style results to PATH",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="report only; do not fail on missed targets",
+    )
+    args = parser.parse_args(argv)
+
+    clients = args.clients or (4 if args.quick else 6)
+    requests = args.requests or (15 if args.quick else 40)
+
+    rows = bench_wire_vs_http(
+        clients=clients,
+        requests_per_client=requests,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        pipeline=args.pipeline,
+    )
+    print(format_table(rows, title="Serving transport (wire vs HTTP)"))
+
+    if args.json:
+        path = record_benchmark(
+            "wire",
+            rows,
+            path=args.json,
+            extra={
+                "config": {
+                    "clients": clients,
+                    "requests_per_client": requests,
+                    "pipeline": args.pipeline,
+                }
+            },
+        )
+        print(f"wrote {path}")
+
+    failures = []
+    for r in rows:
+        if not r["bitwise_identical"]:
+            failures.append(
+                f"{r['payload']}/{r['transport']}: responses drifted from "
+                f"the sequential fusedmm reference "
+                f"({r.get('errors', 'value mismatch')})"
+            )
+    tiny_wire = next(
+        (
+            r
+            for r in rows
+            if r["payload"] == "tiny" and r["transport"] == "wire"
+        ),
+        None,
+    )
+    if tiny_wire is not None:
+        speedup = tiny_wire.get("speedup_vs_http", 0.0)
+        if speedup < args.min_speedup:
+            failures.append(
+                f"tiny-payload wire speedup {speedup:.2f}x < required "
+                f"{args.min_speedup:.1f}x"
+            )
+        else:
+            print(f"wire protocol: {speedup:.2f}x vs HTTP on tiny payloads")
+
+    if failures and not args.no_check:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    if failures:
+        print("targets missed (reported only)")
+    else:
+        print("wire-protocol targets met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,14 @@ sockets by concurrent threads, then drained with SIGTERM.  Asserts:
 * concurrent ``/v1/kernel`` (inline graph, binary payloads) and
   ``/v1/embed`` requests all answer 200 with correct results (kernel
   responses bitwise-equal to a local sequential reference);
-* ``/statz`` shows coalescer activity (every request accounted for);
-* SIGTERM drains gracefully (exit code 0, goodbye line on stdout).
+* the binary wire port serves concurrent **pipelined** clients the same
+  answers bitwise (kernels and embedding lookups);
+* ``/statz`` shows coalescer + wire activity (every request accounted
+  for);
+* SIGTERM lands while a wire client still has requests pipelined: each
+  outstanding request is answered with either its bitwise-correct result
+  or a 503 draining error frame — never silence — and the process exits
+  with the goodbye line (graceful drain mid-pipeline).
 
 Run standalone::
 
@@ -34,12 +40,14 @@ if str(_SRC) not in sys.path:
 import numpy as np  # noqa: E402
 
 from repro.core.fused import fusedmm  # noqa: E402
+from repro.errors import DrainingError, ServeError  # noqa: E402
 from repro.graphs.features import random_features  # noqa: E402
-from repro.serve import ServeClient, wait_until_healthy  # noqa: E402
+from repro.serve import ServeClient, WireClient, wait_until_healthy  # noqa: E402
 from repro.sparse import random_csr  # noqa: E402
 
 HOST = "127.0.0.1"
 PORT = 8765
+WIRE_PORT = 8766
 CLIENTS = 6
 REQUESTS_PER_CLIENT = 5
 
@@ -55,6 +63,8 @@ def main() -> int:
             HOST,
             "--port",
             str(PORT),
+            "--wire-port",
+            str(WIRE_PORT),
             "--models",
             "cora",
             "--scale",
@@ -105,6 +115,49 @@ def main() -> int:
             t.join()
         total = CLIENTS * REQUESTS_PER_CLIENT
 
+        # --- wire phase: concurrent clients, each pipelining 8 kernels --- #
+        WIRE_CLIENTS, WIRE_REQUESTS = 3, 8
+
+        def _wire_client(cid: int) -> None:
+            try:
+                with WireClient(HOST, WIRE_PORT, timeout=60.0) as client:
+                    inflight = {}
+                    for r in range(WIRE_REQUESTS):
+                        g = (cid + r) % len(problems)
+                        rid = client.send_kernel(
+                            graph=problems[g][0], x=problems[g][1]
+                        )
+                        inflight[rid] = g
+                    for _ in range(WIRE_REQUESTS):
+                        rid, value = client.recv()
+                        g = inflight.pop(rid)
+                        if isinstance(value, Exception):
+                            raise value
+                        if not np.array_equal(value, problems[g][2]):
+                            failures.append(
+                                f"wire client {cid}: kernel result drifted"
+                            )
+                    rows = client.embed("cora-force2vec", [0, 1, 2])
+                    if rows.shape != (3, 32):
+                        failures.append(
+                            f"wire client {cid}: embed shape {rows.shape}"
+                        )
+            except Exception as exc:  # noqa: BLE001
+                failures.append(
+                    f"wire client {cid}: {type(exc).__name__}: {exc}"
+                )
+
+        wire_threads = [
+            threading.Thread(target=_wire_client, args=(c,))
+            for c in range(WIRE_CLIENTS)
+        ]
+        for t in wire_threads:
+            t.start()
+        for t in wire_threads:
+            t.join()
+        wire_total = WIRE_CLIENTS * WIRE_REQUESTS
+        print(f"wire: {wire_total} pipelined kernel requests answered")
+
         with ServeClient(HOST, PORT, timeout=30.0) as client:
             stats = client.statz()
         coal = stats["coalescer"]
@@ -114,14 +167,57 @@ def main() -> int:
             f"wait_p99={coal['wait_ms_p99']}ms "
             f"hit_rate={stats['plan_cache_hit_rate']}"
         )
-        if coal["completed"] < total:
+        if coal["completed"] < total + wire_total:
             failures.append(
-                f"coalescer completed {coal['completed']} < {total} submitted"
+                f"coalescer completed {coal['completed']} < "
+                f"{total + wire_total} submitted"
             )
         if coal["failed"] or coal["rejected_queue_full"]:
             failures.append(f"unexpected failures in stats: {coal}")
+        wire_stats = stats.get("wire") or {}
+        if wire_stats.get("frames_served", 0) < wire_total:
+            failures.append(f"wire stats undercount: {wire_stats}")
+        if wire_stats.get("protocol_errors", 0):
+            failures.append(f"unexpected wire protocol errors: {wire_stats}")
+
+        # --- drain mid-pipeline: SIGTERM with wire requests outstanding --- #
+        drained_ok, drained_503 = 0, 0
+        with WireClient(HOST, WIRE_PORT, timeout=60.0) as client:
+            inflight = {}
+            for r in range(6):
+                g = r % len(problems)
+                rid = client.send_kernel(graph=problems[g][0], x=problems[g][1])
+                inflight[rid] = g
+            proc.send_signal(signal.SIGTERM)
+            try:
+                while inflight:
+                    rid, value = client.recv()
+                    g = inflight.pop(rid)
+                    if isinstance(value, DrainingError):
+                        drained_503 += 1
+                    elif isinstance(value, ServeError):
+                        failures.append(
+                            f"drain: unexpected error frame {value}"
+                        )
+                    elif np.array_equal(value, problems[g][2]):
+                        drained_ok += 1
+                    else:
+                        failures.append("drain: kernel result drifted")
+            except ConnectionError:
+                # Every pipelined request must be answered before the
+                # server hangs up — silence on an outstanding id is the
+                # bug the drain sequencing exists to prevent.
+                failures.append(
+                    f"drain: connection closed with {len(inflight)} "
+                    "pipelined requests unanswered"
+                )
+        print(
+            f"drain mid-pipeline: {drained_ok} completed, "
+            f"{drained_503} answered 503"
+        )
     finally:
-        proc.send_signal(signal.SIGTERM)
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
         try:
             out, _ = proc.communicate(timeout=60)
         except subprocess.TimeoutExpired:

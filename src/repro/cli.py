@@ -303,6 +303,23 @@ def _cmd_runtime_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    if args.wire:
+        from .bench.serve_bench import bench_wire_vs_http
+
+        rows = bench_wire_vs_http(
+            clients=args.clients,
+            requests_per_client=args.requests,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            pipeline=args.pipeline,
+        )
+        print(format_table(rows, title="Serving transport (wire vs HTTP)"))
+        if args.json:
+            from .bench.record import record_benchmark
+
+            print(f"wrote {record_benchmark('wire', rows, path=args.json)}")
+        return 0 if all(r["bitwise_identical"] for r in rows) else 1
+
     from .bench.serve_bench import bench_serve_throughput
 
     rows = bench_serve_throughput(
@@ -343,6 +360,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServeConfig(
         host=args.host,
         port=args.port,
+        wire_port=args.wire_port,
+        wire_credits=args.wire_credits,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         max_queue=args.max_queue,
@@ -475,6 +494,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench_sv.add_argument("--dim", type=int, default=8)
     p_bench_sv.add_argument("--max-batch", type=int, default=32)
     p_bench_sv.add_argument("--max-wait-ms", type=float, default=2.0)
+    p_bench_sv.add_argument(
+        "--wire",
+        action="store_true",
+        help="compare the binary wire protocol against the HTTP front-end "
+        "(tiny + large payload legs) instead of batching vs serial",
+    )
+    p_bench_sv.add_argument(
+        "--pipeline",
+        type=int,
+        default=4,
+        help="wire-client pipeline depth (outstanding requests/connection)",
+    )
     p_bench_sv.add_argument("--json", metavar="PATH", default=None)
     p_bench_sv.set_defaults(func=_cmd_bench_serve)
 
@@ -516,6 +547,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8571)
+    p_serve.add_argument(
+        "--wire-port",
+        type=int,
+        default=None,
+        help="also listen with the binary wire protocol on this port "
+        "(0 = ephemeral; omit to serve HTTP only)",
+    )
+    p_serve.add_argument(
+        "--wire-credits",
+        type=int,
+        default=32,
+        help="per-connection credit grant (max pipelined requests)",
+    )
     p_serve.add_argument("--max-batch", type=int, default=32)
     p_serve.add_argument("--max-wait-ms", type=float, default=2.0)
     p_serve.add_argument("--max-queue", type=int, default=256)

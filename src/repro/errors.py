@@ -98,3 +98,27 @@ class DeadlineError(ServeError):
     dispatched; the server answers 504 without doing the work."""
 
     http_status = 504
+
+
+#: Status → ServeError subclass, for transports (the binary wire protocol)
+#: that ship the numeric status and need the typed exception back on the
+#: client side.  Inverse of the ``http_status`` class attributes above.
+SERVE_STATUS_ERRORS = {
+    cls.http_status: cls
+    for cls in (QueueFullError, DrainingError, DeadlineError)
+}
+
+
+def serve_error_for_status(status: int, message: str) -> ReproError:
+    """Reconstruct the typed serving error for a wire-level status code.
+
+    Statuses without a dedicated subclass (400, 404, 500, ...) come back
+    as a plain :class:`ServeError` so callers can still catch one root
+    type; its ``http_status`` instance attribute preserves the code.
+    """
+    cls = SERVE_STATUS_ERRORS.get(status)
+    if cls is not None:
+        return cls(message)
+    error = ServeError(message)
+    error.http_status = status
+    return error

@@ -18,6 +18,10 @@ service (the ROADMAP's "async serving beyond futures" tier):
                ``/healthz``, ``/statz``) with JSON and binary npy payloads
 ``client``     :class:`ServeClient` — stdlib blocking client (benchmarks,
                smoke tests)
+``wire``       :class:`WireServer` / :class:`WireClient` — length-prefixed
+               binary framing over raw sockets with pipelining and
+               credit-based flow control; shares the coalescer/registry
+               with the HTTP front-end
 ``runner``     :class:`BackgroundServer` — an in-process server on its own
                loop thread (benchmarks, tests)
 ``protocol``   wire parsing and array payload codecs
@@ -48,6 +52,7 @@ from .protocol import (
 from .registry import ModelRegistry, RegisteredModel
 from .runner import BackgroundServer
 from .server import KernelServer
+from .wire import WireClient, WireServer
 
 __all__ = [
     "ServeConfig",
@@ -58,6 +63,8 @@ __all__ = [
     "ModelRegistry",
     "RegisteredModel",
     "KernelServer",
+    "WireServer",
+    "WireClient",
     "BackgroundServer",
     "ServeClient",
     "ServeHTTPError",

@@ -61,6 +61,17 @@ class CoalescerStats:
     Reads come from other threads (``/statz`` handlers driven by the
     benchmark, ``repro runtime stats``) while the event loop writes, so
     mutation goes through a lock.
+
+    Accounting invariant (once the coalescer is idle): every submitted
+    request ends in exactly one terminal counter, so ::
+
+        submitted == completed + failed + cancelled
+                     + rejected_queue_full + rejected_draining
+
+    ``cancelled`` counts clients that disconnected between admission and
+    completion — without it, ``/statz`` occupancy math drifts under
+    connection churn.  (``expired_deadline`` is a sub-category of
+    ``failed``, not a separate terminal state.)
     """
 
     def __init__(self) -> None:
@@ -68,6 +79,7 @@ class CoalescerStats:
         self.submitted = 0
         self.completed = 0
         self.failed = 0
+        self.cancelled = 0
         self.batches = 0
         self.coalesced_requests = 0
         self.sharded_requests = 0
@@ -93,6 +105,7 @@ class CoalescerStats:
                 "submitted": self.submitted,
                 "completed": self.completed,
                 "failed": self.failed,
+                "cancelled": self.cancelled,
                 "batches": self.batches,
                 "coalesced_requests": self.coalesced_requests,
                 "sharded_requests": self.sharded_requests,
@@ -239,6 +252,13 @@ class Coalescer:
         # route it straight to the sharded tier (or the in-process path on
         # a dispatch thread) instead of delaying it behind a window timer.
         if request.A.nnz >= self.shard_min_nnz:
+            # Count the large single against the admission bound *here*,
+            # before control returns to the loop: the execution task may
+            # not run until long after many more submissions were checked,
+            # so incrementing inside the task lets a burst of large
+            # singles all pass the ``_queued >= max_queue`` check above
+            # and overshoot the bound.
+            self._queued += 1
             return await self._submit_large(request, deadline)
 
         pending = _Pending(request, loop.create_future(), deadline)
@@ -283,7 +303,8 @@ class Coalescer:
     async def _execute_large(
         self, request: KernelRequest, deadline: Optional[float]
     ) -> np.ndarray:
-        self._queued += 1
+        # ``_queued`` was already incremented at admission time in
+        # :meth:`submit`; this task only ever releases the slot.
         self.stats.bump("sharded_requests")
         try:
             if deadline is not None and time.monotonic() > deadline:
@@ -344,6 +365,7 @@ class Coalescer:
         waits_ms: List[float] = []
         for p in window:
             if p.future.done():  # client cancelled while queued
+                self.stats.bump("cancelled")
                 continue
             if p.deadline is not None and now > p.deadline:
                 self.stats.bump("expired_deadline")
@@ -370,10 +392,14 @@ class Coalescer:
                 if not p.future.done():
                     self.stats.bump("failed")
                     p.future.set_exception(exc)
+                else:  # client gone while the batch executed
+                    self.stats.bump("cancelled")
             return
         for p, Z in zip(live, results):
             if not p.future.done():
                 p.future.set_result(Z)
+            else:  # client gone while the batch executed
+                self.stats.bump("cancelled")
 
     # ------------------------------------------------------------------ #
     # Lifecycle

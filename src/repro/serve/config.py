@@ -15,13 +15,40 @@ the whole deployment.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..errors import BackendError, ShapeError
 from ..sparse import validate_reorder
 
-__all__ = ["ModelSpec", "ServeConfig", "DEFAULT_MODELS"]
+__all__ = [
+    "ModelSpec",
+    "ServeConfig",
+    "DEFAULT_MODELS",
+    "resolve_deadline_ms",
+]
+
+
+def resolve_deadline_ms(
+    explicit: Optional[object], default: float = 0.0
+) -> Optional[float]:
+    """Resolve one request's effective deadline in milliseconds.
+
+    ``explicit`` is the client-supplied value (``None`` = the request did
+    not carry one) and ``default`` the server-wide fallback.  "Absent" and
+    "zero" are different statements: an explicit ``0`` *disables* the
+    deadline even when the server configures a default — a falsy-chain
+    (``explicit or default``) silently re-imposes the default on exactly
+    the clients trying to opt out.  Returns the positive deadline, or
+    ``None`` for "no deadline".  Raises :class:`ValueError` (or
+    :class:`TypeError`) on non-numeric, negative or non-finite input.
+    """
+    raw = default if explicit is None else explicit
+    value = float(raw)
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"deadline_ms must be finite and >= 0, got {raw!r}")
+    return value if value > 0 else None
 
 #: The app kinds the registry can build (one per application class).
 APP_KINDS = ("force2vec", "verse", "gcn", "fr_layout")
@@ -165,6 +192,12 @@ class ServeConfig:
 
     host: str = "127.0.0.1"
     port: int = 8571
+    #: binary wire-protocol listener (``None`` = HTTP only; 0 = ephemeral)
+    wire_port: Optional[int] = None
+    #: per-connection credit grant for the wire protocol: the number of
+    #: outstanding (unanswered) frames one connection may pipeline; bounds
+    #: per-connection memory without touching the global admission queue
+    wire_credits: int = 32
     max_batch: int = 32
     max_wait_ms: float = 2.0
     #: early flush this long after the *last* arrival (bursty traffic
@@ -206,6 +239,12 @@ class ServeConfig:
             )
         if self.drain_timeout_s < 0:
             raise ShapeError("drain_timeout_s must be >= 0")
+        if self.wire_credits < 1:
+            raise ShapeError(
+                f"wire_credits must be >= 1, got {self.wire_credits}"
+            )
+        if self.wire_port is not None and self.wire_port < 0:
+            raise ShapeError(f"wire_port must be >= 0, got {self.wire_port}")
         validate_reorder(self.reorder)
         names = [m.name for m in self.models]
         if len(set(names)) != len(names):
@@ -218,6 +257,8 @@ class ServeConfig:
     def describe(self) -> Dict[str, object]:
         """JSON-able summary (the ``config`` block of ``/statz``)."""
         return {
+            "wire_port": self.wire_port,
+            "wire_credits": self.wire_credits,
             "max_batch": self.max_batch,
             "max_wait_ms": self.max_wait_ms,
             "idle_flush_ms": self.idle_flush_ms,

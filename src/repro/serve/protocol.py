@@ -76,10 +76,17 @@ class HTTPRequest:
     query: Dict[str, str] = field(default_factory=dict)
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    version: str = "HTTP/1.1"
 
     @property
     def keep_alive(self) -> bool:
-        return self.headers.get("connection", "keep-alive").lower() != "close"
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            # 1.0 connections are one-shot unless explicitly negotiated;
+            # holding them open leaves clients that read until EOF
+            # hanging on a response the server considers complete.
+            return connection == "keep-alive"
+        return connection != "close"
 
     def json(self) -> dict:
         """The body parsed as a JSON object (400 on anything else)."""
@@ -117,7 +124,7 @@ async def read_http_request(
     parts = lines[0].split(" ")
     if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
         raise ProtocolError(f"malformed request line: {lines[0]!r}")
-    method, target, _version = parts
+    method, target, version = parts
     split = urlsplit(target)
     query = dict(parse_qsl(split.query, keep_blank_values=True))
 
@@ -153,6 +160,7 @@ async def read_http_request(
         query=query,
         headers=headers,
         body=body,
+        version=version.upper(),
     )
 
 

@@ -53,6 +53,11 @@ class BackgroundServer:
     def host(self) -> str:
         return self.server.config.host
 
+    @property
+    def wire_port(self) -> Optional[int]:
+        """The bound binary wire port (``None`` when not configured)."""
+        return self.server.wire_port
+
     def start(self) -> "BackgroundServer":
         if self._thread is not None:
             return self

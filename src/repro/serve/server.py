@@ -51,7 +51,7 @@ from ..errors import DatasetError, ReproError, ServeError
 from ..runtime import KernelRequest
 from ..sparse import CSRMatrix
 from .coalescer import Coalescer
-from .config import ServeConfig
+from .config import ServeConfig, resolve_deadline_ms
 from .protocol import (
     HTTPRequest,
     ProtocolError,
@@ -100,6 +100,7 @@ class KernelServer:
         self.config = config or ServeConfig()
         self.registry = ModelRegistry(self.config)
         self.coalescer: Optional[Coalescer] = None
+        self.wire: Optional["WireServer"] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: "set[asyncio.Task]" = set()
         self._started = time.monotonic()
@@ -112,6 +113,11 @@ class KernelServer:
         if self._server is None or not self._server.sockets:
             return self.config.port
         return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def wire_port(self) -> Optional[int]:
+        """The bound wire port, or ``None`` when wire serving is off."""
+        return None if self.wire is None else self.wire.port
 
     @property
     def draining(self) -> bool:
@@ -138,6 +144,11 @@ class KernelServer:
             host=self.config.host,
             port=self.config.port,
         )
+        if self.config.wire_port is not None:
+            from .wire import WireServer
+
+            self.wire = WireServer(self)
+            await self.wire.start()
         self._started = time.monotonic()
         return self
 
@@ -147,8 +158,17 @@ class KernelServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.wire is not None:
+            await self.wire.stop_accepting()
         if self.coalescer is not None:
+            # Drain with wire connections still open: frames pipelined
+            # before the drain finish and flush normally, frames arriving
+            # during it get 503 error frames instead of a dead socket.
             await self.coalescer.drain(timeout=self.config.drain_timeout_s)
+        if self.wire is not None:
+            await self.wire.close(timeout=self.config.drain_timeout_s)
+            self.wire = None
+        if self.coalescer is not None:
             self.coalescer.close()
             self.coalescer = None
         # Idle keep-alive connections are parked in read(); in-flight work
@@ -185,8 +205,12 @@ class KernelServer:
             for sig in (signal.SIGINT, signal.SIGTERM):
                 with contextlib.suppress(NotImplementedError):
                     loop.add_signal_handler(sig, _request_stop)
+            wire_note = (
+                f", wire on port {self.wire_port}" if self.wire else ""
+            )
             print(
-                f"repro serve: listening on http://{self.config.host}:{self.port} "
+                f"repro serve: listening on http://{self.config.host}:{self.port}"
+                f"{wire_note} "
                 f"(models: {', '.join(self.registry.model_names()) or 'none'})",
                 flush=True,
             )
@@ -339,23 +363,24 @@ class KernelServer:
             or "sigmoid_embedding"
         )
         backend = str(payload.get("backend") or request.query.get("backend") or "auto")
-        raw_deadline = (
-            payload.get("deadline_ms")
-            or request.query.get("deadline_ms")
-            or request.headers.get("x-deadline-ms")
-            or self.config.default_deadline_ms
-            or 0.0
-        )
+        # Absent and 0 are different: an explicit 0 *disables* the server
+        # default, so the sources must be probed for presence (``is None``),
+        # never chained with ``or`` (which collapses 0 into "absent").
+        raw_deadline: Optional[object] = payload.get("deadline_ms")
+        if raw_deadline is None:
+            raw_deadline = request.query.get("deadline_ms")
+        if raw_deadline is None:
+            raw_deadline = request.headers.get("x-deadline-ms")
         try:
-            deadline_ms = float(raw_deadline)
+            deadline_ms = resolve_deadline_ms(
+                raw_deadline, self.config.default_deadline_ms
+            )
         except (TypeError, ValueError) as exc:
             raise ProtocolError(f"invalid deadline_ms: {raw_deadline!r}") from exc
         kernel_request = KernelRequest(
             A=A, X=X, Y=Y, pattern=pattern, backend=backend
         )
-        Z = await self.coalescer.submit(
-            kernel_request, deadline_ms=deadline_ms or None
-        )
+        Z = await self.coalescer.submit(kernel_request, deadline_ms=deadline_ms)
         wants_npy = (
             payload.get("response") == "npy"
             or request.query.get("response") == "npy"
@@ -415,6 +440,7 @@ class KernelServer:
                 round(hits / (hits + misses), 4) if (hits + misses) else 0.0
             ),
             "coalescer": coalescer,
+            "wire": None if self.wire is None else self.wire.describe(),
             "runtime": runtime_stats,
             "models": self.registry.describe(),
             "registry_load_seconds": round(self.registry.load_seconds, 3),

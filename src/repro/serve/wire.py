@@ -1,0 +1,662 @@
+"""Length-prefixed binary wire protocol for the serving front-end.
+
+The HTTP/1.1 front-end is the compatibility surface; on 1 CPU its parse +
+JSON framing dominates small requests, so the transport — not the kernel
+— bounds small-request throughput.  This module adds the transport-light
+alternative: a framed binary protocol over raw asyncio sockets that
+shares the :class:`~repro.serve.coalescer.Coalescer` and
+:class:`~repro.serve.registry.ModelRegistry` with the HTTP server, so
+responses stay bitwise identical to serial execution regardless of which
+front door a request used.
+
+Frame layout (network byte order)::
+
+    magic      2 bytes   b"RW"
+    version    1 byte    WIRE_VERSION (1)
+    opcode     1 byte    OP_*
+    request_id 8 bytes   client-assigned; echoed on the response
+    length     4 bytes   payload byte count
+    payload    <length>  opcode-specific container (below)
+
+Payload container: ``meta_len:u32 | meta JSON | (blob_len:u32 | npy blob)``
+repeated once per name in ``meta["arrays"]`` — arrays ride as NumPy
+``.npy`` blobs (bitwise-faithful dtypes, no float→decimal round trip),
+everything scalar rides in the small JSON meta block.
+
+Connection protocol:
+
+* On connect the server sends one ``OP_HELLO`` frame (request-id 0)
+  whose meta carries the **credit grant**: the number of outstanding
+  (unanswered) requests this connection may pipeline.  Each request
+  consumes a credit; each response (result or error) replenishes it.
+  Exceeding the grant is a protocol error — the server answers with a
+  status-400 error frame and closes.  Credits bound per-connection
+  memory without touching the global admission queue.
+* Clients **pipeline**: many request-ids may be outstanding and
+  responses arrive in *completion* order, not submission order.
+* Errors mirror the HTTP status mapping (429 queue full, 503 draining,
+  504 deadline expired, 400/404 malformed or unknown names) as
+  ``OP_ERROR`` frames carrying ``{"status": ..., "error": ...}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+import time
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import (
+    DatasetError,
+    ReproError,
+    ServeError,
+    serve_error_for_status,
+)
+from ..runtime import KernelRequest
+from ..sparse import CSRMatrix
+from .config import resolve_deadline_ms
+from .protocol import ProtocolError, array_from_npy, npy_bytes
+
+__all__ = [
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "OP_HELLO",
+    "OP_KERNEL",
+    "OP_EMBED",
+    "OP_RESULT",
+    "OP_ERROR",
+    "FRAME_HEADER",
+    "pack_frame",
+    "unpack_header",
+    "encode_payload",
+    "decode_payload",
+    "WireServer",
+    "WireClient",
+]
+
+WIRE_MAGIC = b"RW"
+WIRE_VERSION = 1
+
+OP_HELLO = 0x01
+OP_KERNEL = 0x10
+OP_EMBED = 0x11
+OP_RESULT = 0x20
+OP_ERROR = 0x21
+
+_REQUEST_OPS = (OP_KERNEL, OP_EMBED)
+
+#: magic(2s) | version(B) | opcode(B) | request_id(Q) | payload length(I)
+FRAME_HEADER = struct.Struct("!2sBBQI")
+_U32 = struct.Struct("!I")
+
+
+# ---------------------------------------------------------------------- #
+# Frame + payload codecs (shared by server and client)
+# ---------------------------------------------------------------------- #
+def pack_frame(opcode: int, request_id: int, payload: bytes) -> bytes:
+    """One serialised frame: fixed header + payload."""
+    return (
+        FRAME_HEADER.pack(
+            WIRE_MAGIC, WIRE_VERSION, opcode, request_id, len(payload)
+        )
+        + payload
+    )
+
+
+def unpack_header(blob: bytes) -> Tuple[int, int, int]:
+    """Parse a header → ``(opcode, request_id, payload_length)``.
+
+    Raises :class:`ProtocolError` on bad magic or version — the caller
+    cannot trust anything after a framing failure, so it must close.
+    """
+    magic, version, opcode, request_id, length = FRAME_HEADER.unpack(blob)
+    if magic != WIRE_MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise ProtocolError(
+            f"unsupported wire version {version} (speaking {WIRE_VERSION})"
+        )
+    return opcode, request_id, length
+
+
+def encode_payload(
+    meta: dict, arrays: Optional[Dict[str, np.ndarray]] = None
+) -> bytes:
+    """Serialise one payload container (meta JSON + named npy blobs)."""
+    arrays = arrays or {}
+    meta = dict(meta)
+    meta["arrays"] = list(arrays)
+    meta_blob = json.dumps(meta).encode("utf-8")
+    parts = [_U32.pack(len(meta_blob)), meta_blob]
+    for name in arrays:
+        blob = npy_bytes(arrays[name])
+        parts.append(_U32.pack(len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def decode_payload(blob: bytes) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Parse one payload container → ``(meta, {name: array})``.
+
+    Strict: truncated length prefixes, blobs running past the payload or
+    trailing garbage are all :class:`ProtocolError` — a framing bug must
+    not silently decode to a partial request.
+    """
+
+    def take(n: int, what: str) -> bytes:
+        nonlocal offset
+        if offset + n > len(blob):
+            raise ProtocolError(f"truncated payload while reading {what}")
+        piece = blob[offset : offset + n]
+        offset += n
+        return piece
+
+    offset = 0
+    (meta_len,) = _U32.unpack(take(4, "meta length"))
+    try:
+        meta = json.loads(take(meta_len, "meta JSON").decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"invalid payload meta: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise ProtocolError("payload meta must be a JSON object")
+    names = meta.get("arrays", [])
+    if not isinstance(names, list):
+        raise ProtocolError("meta 'arrays' must be a list of names")
+    arrays: Dict[str, np.ndarray] = {}
+    for name in names:
+        (blob_len,) = _U32.unpack(take(4, f"length of array {name!r}"))
+        arrays[str(name)] = array_from_npy(take(blob_len, f"array {name!r}"))
+    if offset != len(blob):
+        raise ProtocolError(
+            f"{len(blob) - offset} trailing bytes after payload arrays"
+        )
+    return meta, arrays
+
+
+async def _read_frame(
+    reader: asyncio.StreamReader, *, max_payload: int
+) -> Optional[Tuple[int, int, bytes]]:
+    """One frame off an asyncio reader; ``None`` on clean EOF.
+
+    EOF mid-frame (header or payload) is a :class:`ProtocolError` — only
+    a frame boundary is a legal place to hang up.
+    """
+    try:
+        header = await reader.readexactly(FRAME_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("truncated frame header") from exc
+    opcode, request_id, length = unpack_header(header)
+    if length > max_payload:
+        raise ProtocolError(
+            f"frame payload of {length} bytes exceeds the {max_payload} cap",
+            status=413,
+        )
+    try:
+        payload = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("truncated frame payload") from exc
+    return opcode, request_id, payload
+
+
+def _error_payload(status: int, message: str) -> bytes:
+    return encode_payload({"status": status, "error": message})
+
+
+# ---------------------------------------------------------------------- #
+# Server
+# ---------------------------------------------------------------------- #
+class WireServer:
+    """The binary-protocol listener beside a ``KernelServer``.
+
+    Owns no kernel state: requests decode into the *same*
+    :class:`~repro.runtime.KernelRequest` objects and flow through the
+    same coalescer as HTTP traffic, so the bitwise-identity contract
+    holds across transports.  The owning server starts/stops it and is
+    consulted for its registry, coalescer and config.
+    """
+
+    def __init__(self, owner) -> None:
+        self._owner = owner
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: "set[asyncio.Task]" = set()
+        self._started = time.monotonic()
+        self.frames_served = 0
+        self.errors_sent = 0
+        self.protocol_errors = 0
+        self.connections_accepted = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self):
+        return self._owner.config
+
+    @property
+    def port(self) -> int:
+        """The bound wire port (meaningful after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            return self.config.wire_port or 0
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "WireServer":
+        assert self.config.wire_port is not None, "wire_port not configured"
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.wire_port,
+        )
+        self._started = time.monotonic()
+        return self
+
+    async def stop_accepting(self) -> None:
+        """Close the listener; existing connections keep draining."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def close(self, timeout: Optional[float] = None) -> None:
+        """Wind down connections after the coalescer drained.
+
+        Cancelling read loops outright would silently drop any request
+        frames a client pipelined that are still buffered unread on the
+        socket — the contract is that every received frame is answered
+        (with a 503 error frame once draining).  So connections first get
+        ``timeout`` seconds to finish naturally: readers keep serving
+        (drain answers), clients collect their outstanding responses and
+        hang up.  Whatever is still connected after the grace is cut.
+        """
+        if self._connections and timeout:
+            await asyncio.wait(set(self._connections), timeout=timeout)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+
+    def describe(self) -> Dict[str, object]:
+        """The ``wire`` block of ``/statz``."""
+        return {
+            "port": self.port,
+            "credits": self.config.wire_credits,
+            "connections_accepted": self.connections_accepted,
+            "frames_served": self.frames_served,
+            "errors_sent": self.errors_sent,
+            "protocol_errors": self.protocol_errors,
+        }
+
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        self.connections_accepted += 1
+        write_lock = asyncio.Lock()
+        outstanding: "set[asyncio.Task]" = set()
+
+        async def send(opcode: int, request_id: int, payload: bytes) -> None:
+            # Responses come from concurrently completing tasks; the lock
+            # keeps frames from interleaving mid-write.
+            async with write_lock:
+                writer.write(pack_frame(opcode, request_id, payload))
+                await writer.drain()
+
+        try:
+            await send(
+                OP_HELLO,
+                0,
+                encode_payload(
+                    {
+                        "version": WIRE_VERSION,
+                        "credits": self.config.wire_credits,
+                        "max_payload": self.config.max_body_bytes,
+                    }
+                ),
+            )
+            while True:
+                frame = await _read_frame(
+                    reader, max_payload=self.config.max_body_bytes
+                )
+                if frame is None:
+                    break
+                opcode, request_id, payload = frame
+                if opcode not in _REQUEST_OPS:
+                    raise ProtocolError(f"unexpected opcode 0x{opcode:02x}")
+                if len(outstanding) >= self.config.wire_credits:
+                    # The client wrote past its grant: protocol misuse,
+                    # not load — deliberately 400, never 429, so flow
+                    # control violations stay distinguishable from
+                    # admission-control shedding.
+                    raise ProtocolError(
+                        f"credit limit exceeded ({self.config.wire_credits} "
+                        "outstanding requests allowed)"
+                    )
+                job = asyncio.ensure_future(
+                    self._serve_frame(send, opcode, request_id, payload)
+                )
+                outstanding.add(job)
+                job.add_done_callback(outstanding.discard)
+        except ProtocolError as exc:
+            self.protocol_errors += 1
+            try:
+                await send(OP_ERROR, 0, _error_payload(exc.status, str(exc)))
+            except (ConnectionError, RuntimeError, OSError):
+                pass
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            # Clean EOF: let pipelined requests already admitted finish
+            # and flush their responses before tearing the socket down.
+            if outstanding:
+                await asyncio.gather(*outstanding, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):  # pragma: no cover - teardown races
+                pass
+
+    async def _serve_frame(
+        self, send, opcode: int, request_id: int, payload: bytes
+    ) -> None:
+        """Decode → execute → respond for one request frame.
+
+        Mirrors ``KernelServer._dispatch``'s error mapping so both
+        transports answer identical statuses for identical failures.
+        """
+        try:
+            meta, arrays = decode_payload(payload)
+            if opcode == OP_KERNEL:
+                result = await self._handle_kernel(meta, arrays)
+            else:
+                result = self._handle_embed(meta, arrays)
+            self.frames_served += 1
+            body = encode_payload(
+                {"status": 200, "shape": list(result.shape)}, {"z": result}
+            )
+            response = (OP_RESULT, body)
+        except ProtocolError as exc:
+            response = (OP_ERROR, _error_payload(exc.status, str(exc)))
+        except ServeError as exc:
+            response = (OP_ERROR, _error_payload(exc.http_status, str(exc)))
+        except DatasetError as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            response = (OP_ERROR, _error_payload(404, str(message)))
+        except ReproError as exc:
+            response = (OP_ERROR, _error_payload(400, str(exc)))
+        except Exception as exc:  # pragma: no cover - defensive
+            response = (OP_ERROR, _error_payload(500, f"internal error: {exc}"))
+        if response[0] == OP_ERROR:
+            self.errors_sent += 1
+        try:
+            await send(response[0], request_id, response[1])
+        except (ConnectionError, RuntimeError, OSError):
+            # The client hung up before its response; nothing to tell it.
+            pass
+
+    # ------------------------------------------------------------------ #
+    def _resolve_adjacency(
+        self, meta: dict, arrays: Dict[str, np.ndarray]
+    ) -> CSRMatrix:
+        model = meta.get("model")
+        if model is not None:
+            return self._owner.registry.graph(str(model))
+        if "indptr" not in arrays or "indices" not in arrays:
+            raise ProtocolError(
+                "kernel frame needs 'model' (a registered graph) or inline "
+                "'indptr'/'indices' arrays"
+            )
+        try:
+            indptr = arrays["indptr"].astype(np.int64, copy=False)
+            indices = arrays["indices"].astype(np.int64, copy=False)
+            data = arrays.get(
+                "data", np.ones(indices.shape[0], dtype=np.float32)
+            ).astype(np.float32, copy=False)
+            shape = meta.get("graph_shape")
+            nrows = int(shape[0]) if shape else indptr.shape[0] - 1
+            ncols = int(shape[1]) if shape else nrows
+            return CSRMatrix(nrows, ncols, indptr, indices, data)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise ProtocolError(f"malformed inline graph: {exc}") from exc
+
+    async def _handle_kernel(
+        self, meta: dict, arrays: Dict[str, np.ndarray]
+    ) -> np.ndarray:
+        coalescer = self._owner.coalescer
+        if coalescer is None:
+            raise ProtocolError("server not started", status=503)
+        A = self._resolve_adjacency(meta, arrays)
+        try:
+            deadline_ms = resolve_deadline_ms(
+                meta.get("deadline_ms"), self.config.default_deadline_ms
+            )
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"invalid deadline_ms: {meta.get('deadline_ms')!r}"
+            ) from exc
+        request = KernelRequest(
+            A=A,
+            X=arrays.get("x"),
+            Y=arrays.get("y"),
+            pattern=str(meta.get("pattern", "sigmoid_embedding")),
+            backend=str(meta.get("backend", "auto")),
+        )
+        return await coalescer.submit(request, deadline_ms=deadline_ms)
+
+    def _handle_embed(
+        self, meta: dict, arrays: Dict[str, np.ndarray]
+    ) -> np.ndarray:
+        model = meta.get("model")
+        if not model:
+            raise ProtocolError("embed frame needs 'model'")
+        ids = meta.get("ids")
+        if "ids" in arrays:
+            id_array: Optional[np.ndarray] = arrays["ids"].astype(
+                np.int64, copy=False
+            )
+        elif ids is not None:
+            try:
+                id_array = np.asarray(ids, dtype=np.int64)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(f"invalid ids: {exc}") from exc
+        else:
+            id_array = None
+        return self._owner.registry.embeddings(str(model), id_array)
+
+
+# ---------------------------------------------------------------------- #
+# Client
+# ---------------------------------------------------------------------- #
+class WireClient:
+    """Blocking wire-protocol client with explicit pipelining.
+
+    One-shot use mirrors :class:`~repro.serve.client.ServeClient`::
+
+        with WireClient(port=wire_port) as client:
+            Z = client.kernel(model="cora-f2v", x=X)
+
+    Pipelined use separates submission from collection — up to
+    :attr:`credits` requests may be outstanding::
+
+        ids = [client.send_kernel(model="m", x=x) for x in chunk]
+        for _ in ids:
+            rid, value = client.recv()   # completion order
+
+    ``recv`` returns ``(request_id, ndarray)`` for results and
+    ``(request_id, ServeError)`` for error frames — pipelined callers
+    need per-request failures, not an exception that aborts the batch.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 30.0,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._next_id = 1
+        self._pending: "set[int]" = set()
+        self._ready: Dict[int, object] = {}
+        opcode, _, payload = self._read_frame()
+        if opcode != OP_HELLO:
+            raise ProtocolError(
+                f"expected HELLO frame, got opcode 0x{opcode:02x}"
+            )
+        meta, _ = decode_payload(payload)
+        #: the server's per-connection pipelining grant
+        self.credits = int(meta.get("credits", 1))
+        self.max_payload = int(meta.get("max_payload", 64 * 1024 * 1024))
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "WireClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------ #
+    def _read_frame(self) -> Tuple[int, int, bytes]:
+        header = self._read_exact(FRAME_HEADER.size, "frame header")
+        opcode, request_id, length = unpack_header(header)
+        payload = self._read_exact(length, "frame payload") if length else b""
+        return opcode, request_id, payload
+
+    def _read_exact(self, n: int, what: str) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self._rfile.read(remaining)
+            if not chunk:
+                raise ConnectionError(
+                    f"connection closed while reading {what}"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _send(self, opcode: int, meta: dict, arrays: Dict[str, np.ndarray]) -> int:
+        if len(self._pending) >= self.credits:
+            raise RuntimeError(
+                f"out of credits: {self.credits} requests already "
+                "outstanding; recv() before sending more"
+            )
+        request_id = self._next_id
+        self._next_id += 1
+        self._sock.sendall(
+            pack_frame(opcode, request_id, encode_payload(meta, arrays))
+        )
+        self._pending.add(request_id)
+        return request_id
+
+    # ------------------------------------------------------------------ #
+    def send_kernel(
+        self,
+        *,
+        model: Optional[str] = None,
+        graph=None,
+        x: Optional[np.ndarray] = None,
+        y: Optional[np.ndarray] = None,
+        pattern: str = "sigmoid_embedding",
+        backend: str = "auto",
+        deadline_ms: Optional[float] = None,
+    ) -> int:
+        """Pipeline one kernel request; returns its request-id."""
+        meta: Dict[str, object] = {"pattern": pattern, "backend": backend}
+        if deadline_ms is not None:
+            meta["deadline_ms"] = deadline_ms
+        arrays: Dict[str, np.ndarray] = {}
+        if model is not None:
+            meta["model"] = model
+        elif graph is not None:
+            meta["graph_shape"] = list(graph.shape)
+            arrays["indptr"] = np.asarray(graph.indptr)
+            arrays["indices"] = np.asarray(graph.indices)
+            arrays["data"] = np.asarray(graph.data)
+        if x is not None:
+            arrays["x"] = np.asarray(x)
+        if y is not None:
+            arrays["y"] = np.asarray(y)
+        return self._send(OP_KERNEL, meta, arrays)
+
+    def send_embed(
+        self, model: str, ids: Optional[object] = None
+    ) -> int:
+        """Pipeline one embedding lookup; returns its request-id."""
+        meta: Dict[str, object] = {"model": model}
+        arrays: Dict[str, np.ndarray] = {}
+        if ids is not None:
+            arrays["ids"] = np.asarray(ids, dtype=np.int64)
+        return self._send(OP_EMBED, meta, arrays)
+
+    def recv(self) -> Tuple[int, object]:
+        """The next response in completion order.
+
+        Returns ``(request_id, ndarray)`` or ``(request_id, ServeError)``.
+        A status-400 error frame with request-id 0 (a connection-level
+        protocol violation) is raised immediately — the server has
+        already hung up.
+        """
+        opcode, request_id, payload = self._read_frame()
+        meta, arrays = decode_payload(payload)
+        if opcode == OP_RESULT:
+            self._pending.discard(request_id)
+            return request_id, arrays["z"]
+        if opcode == OP_ERROR:
+            error = serve_error_for_status(
+                int(meta.get("status", 500)), str(meta.get("error", ""))
+            )
+            if request_id == 0:
+                # Connection-level failure, not a per-request one.
+                raise error
+            self._pending.discard(request_id)
+            return request_id, error
+        raise ProtocolError(f"unexpected response opcode 0x{opcode:02x}")
+
+    def _wait_for(self, request_id: int) -> object:
+        if request_id in self._ready:
+            return self._ready.pop(request_id)
+        while True:
+            rid, value = self.recv()
+            if rid == request_id:
+                return value
+            self._ready[rid] = value
+
+    # ------------------------------------------------------------------ #
+    def kernel(self, **kwargs) -> np.ndarray:
+        """Submit one kernel request and wait for its result."""
+        value = self._wait_for(self.send_kernel(**kwargs))
+        if isinstance(value, Exception):
+            raise value
+        return value
+
+    def embed(self, model: str, ids: Optional[object] = None) -> np.ndarray:
+        """Fetch rows of a model's servable output matrix."""
+        value = self._wait_for(self.send_embed(model, ids))
+        if isinstance(value, Exception):
+            raise value
+        return value

@@ -111,6 +111,24 @@ class TestProtocol:
         with pytest.raises(ProtocolError):
             self._parse(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n")
 
+    def test_http_10_defaults_to_close(self):
+        """HTTP/1.0 without ``Connection: keep-alive`` is one-shot: a 1.0
+        client reads until EOF, so holding the connection open hangs it on
+        a response the server considers complete."""
+        req = self._parse(b"GET /healthz HTTP/1.0\r\n\r\n")
+        assert req.version == "HTTP/1.0"
+        assert not req.keep_alive
+        req = self._parse(
+            b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        )
+        assert req.keep_alive
+        # 1.1 keeps its defaults: persistent unless told otherwise.
+        req = self._parse(b"GET /healthz HTTP/1.1\r\n\r\n")
+        assert req.version == "HTTP/1.1"
+        assert req.keep_alive
+        req = self._parse(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not req.keep_alive
+
     def test_parse_body_cap(self):
         raw = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100
         with pytest.raises(ProtocolError) as exc:
@@ -176,15 +194,23 @@ class TestCoalescerIdentity:
                     )
                 )
                 await coalescer.drain()
-                return results
+                return results, coalescer.stats.as_dict()
             finally:
                 coalescer.close()
 
-        results = asyncio.run(_go())
+        results, stats = asyncio.run(_go())
         runtime.close()
         for (A, X, Y, pattern, expected), Z in zip(problems, results):
             np.testing.assert_array_equal(Z, expected)
             assert Z.dtype == expected.dtype
+        # Every admitted request reaches exactly one terminal state.
+        assert stats["submitted"] == (
+            stats["completed"]
+            + stats["failed"]
+            + stats["cancelled"]
+            + stats["rejected_queue_full"]
+            + stats["rejected_draining"]
+        )
 
     def test_windows_actually_form(self):
         runtime = KernelRuntime(num_threads=1)
@@ -348,6 +374,92 @@ class TestAdmissionControl:
         assert stats["expired_deadline"] == 1
         assert stats["completed"] == 0
         assert DeadlineError.http_status == 504
+
+    def test_large_single_flood_respects_admission_bound(self):
+        """Large singles must count against ``max_queue`` at admission
+        time: a burst submitted concurrently may not overshoot the bound
+        just because the execution tasks haven't started yet."""
+        runtime = KernelRuntime(num_threads=1)
+        A = random_csr(300, 300, density=0.2, seed=5)  # nnz >= threshold
+        X, Y = make_xy(A, 4, seed=5)
+
+        async def _go():
+            coalescer = Coalescer(
+                runtime,
+                max_batch=8,
+                max_wait_ms=2.0,
+                shard_min_nnz=64,
+                max_queue=2,
+            )
+            try:
+                # All six admission checks run before any execution task
+                # gets loop time — exactly the burst that overshoots if
+                # the slot is counted inside the task.
+                tasks = [
+                    asyncio.ensure_future(
+                        coalescer.submit(KernelRequest(A=A, X=X, Y=Y))
+                    )
+                    for _ in range(6)
+                ]
+                results = await asyncio.gather(*tasks, return_exceptions=True)
+                await coalescer.drain()
+                return results, coalescer.stats.as_dict()
+            finally:
+                coalescer.close()
+
+        results, stats = asyncio.run(_go())
+        runtime.close()
+        rejected = [r for r in results if isinstance(r, QueueFullError)]
+        completed = [r for r in results if isinstance(r, np.ndarray)]
+        assert len(rejected) == 4
+        assert len(completed) == 2
+        assert stats["rejected_queue_full"] == 4
+        expected = fusedmm(A, X, Y, pattern="sigmoid_embedding")
+        for Z in completed:
+            np.testing.assert_array_equal(Z, expected)
+
+    def test_cancelled_while_queued_is_counted(self):
+        """A client disconnecting while queued must land in ``cancelled``
+        — neither silently skipped (stats drift) nor marked completed."""
+        runtime = KernelRuntime(num_threads=1)
+        A, X, Y = _mk_problem(30, 4, 0)
+
+        async def _go():
+            coalescer = Coalescer(
+                runtime, max_batch=64, max_wait_ms=10_000.0, idle_flush_ms=0.0
+            )
+            try:
+                keep = asyncio.ensure_future(
+                    coalescer.submit(KernelRequest(A=A, X=X, Y=Y))
+                )
+                doomed = [
+                    asyncio.ensure_future(
+                        coalescer.submit(KernelRequest(A=A, X=X, Y=Y))
+                    )
+                    for _ in range(2)
+                ]
+                await asyncio.sleep(0)  # all three queued in the window
+                for task in doomed:
+                    task.cancel()
+                await asyncio.gather(*doomed, return_exceptions=True)
+                await coalescer.drain()
+                await keep
+                return coalescer.stats.as_dict()
+            finally:
+                coalescer.close()
+
+        stats = asyncio.run(_go())
+        runtime.close()
+        assert stats["submitted"] == 3
+        assert stats["completed"] == 1
+        assert stats["cancelled"] == 2
+        assert stats["submitted"] == (
+            stats["completed"]
+            + stats["failed"]
+            + stats["cancelled"]
+            + stats["rejected_queue_full"]
+            + stats["rejected_draining"]
+        )
 
     def test_drain_awaits_inflight_large_singles(self):
         """Graceful drain must wait for large-lane requests too, not just
@@ -673,6 +785,62 @@ class TestHTTPEndToEnd:
         with pytest.raises(OSError):
             with ServeClient(host, port, timeout=2.0) as client:
                 client.healthz()
+
+
+# ---------------------------------------------------------------------- #
+# End-to-end regressions for the serving bugfix sweep
+# ---------------------------------------------------------------------- #
+class TestServeRegressions:
+    def test_explicit_zero_deadline_disables_server_default(self):
+        """``deadline_ms: 0`` means *no deadline*, even when the server
+        configures a default — an ``or``-chain collapses the explicit 0
+        into "absent" and re-imposes the default on exactly the clients
+        opting out."""
+        config = ServeConfig(
+            port=0,
+            models=(),
+            max_batch=64,
+            max_wait_ms=150.0,
+            idle_flush_ms=0.0,
+            default_deadline_ms=25.0,
+        )
+        with BackgroundServer(config) as bg:
+            A, X, Y = _mk_problem(30, 4, 13)
+            expected = fusedmm(A, X, Y, pattern="sigmoid_embedding")
+            with ServeClient(bg.host, bg.port, timeout=30.0) as client:
+                # No client deadline: the 25ms server default applies and
+                # expires inside the 150ms window wait.
+                with pytest.raises(ServeHTTPError) as exc:
+                    client.kernel(graph=A, X=X, Y=Y)
+                assert exc.value.status == 504
+                # Explicit 0 disables the default: same request, 200.
+                Z = client.kernel(graph=A, X=X, Y=Y, deadline_ms=0)
+                np.testing.assert_array_equal(Z, expected)
+                # A real client deadline still wins over the default.
+                with pytest.raises(ServeHTTPError) as exc:
+                    client.kernel(graph=A, X=X, Y=Y, deadline_ms=1.0)
+                assert exc.value.status == 504
+
+    def test_http_10_connection_closed_after_response(self, live_server):
+        """A 1.0 client without ``Connection: keep-alive`` reads to EOF;
+        the server must close after the response instead of parking the
+        connection in keep-alive."""
+        import socket as socket_mod
+
+        with socket_mod.create_connection(
+            (live_server.host, live_server.port), timeout=10.0
+        ) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.0\r\n\r\n")
+            blob = b""
+            while True:  # EOF must arrive; a held-open socket times out
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                blob += chunk
+        head, _, body = blob.partition(b"\r\n\r\n")
+        assert b" 200 " in head.split(b"\r\n")[0]
+        assert b"Connection: close" in head
+        assert json.loads(body) == {"status": "ok"}
 
 
 # ---------------------------------------------------------------------- #
