@@ -1,0 +1,115 @@
+"""Benchmark: distributed worker tier vs in-process sharding.
+
+Runs :func:`repro.bench.remote_bench.bench_remote_scaling` — the same
+kernel on the same graph executed by 1 and 2 real ``python -m repro
+worker`` host processes over localhost TCP — verifying bitwise equality
+against sequential ``fusedmm``, and a failover leg where one of two hosts
+is fault-injected to crash mid-batch (the controller must finish the
+batch on the survivor, still bitwise).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_remote_scaling.py [--quick] [--json PATH]
+
+or via the CLI: ``python -m repro bench remote``.  The process exits
+non-zero unless every leg (including failover) is bitwise identical and
+the failover leg actually lost and recovered a host (``--no-check``
+reports only).  ``--json`` writes a machine-readable ``BENCH_remote.json``
+via :mod:`repro.bench.record`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench.record import record_benchmark  # noqa: E402
+from repro.bench.remote_bench import bench_remote_scaling  # noqa: E402
+from repro.bench.tables import format_table  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=[1, 2], help="worker-host counts"
+    )
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument("--avg-degree", type=int, default=16)
+    parser.add_argument("--dim", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--no-kill",
+        action="store_true",
+        help="skip the failover leg (kill one of two hosts mid-batch)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write BENCH_remote.json-style results to PATH",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="report only; do not fail on missed targets",
+    )
+    args = parser.parse_args(argv)
+
+    nodes = args.nodes or (4_000 if args.quick else 20_000)
+    dim = args.dim or (32 if args.quick else 64)
+    repeats = args.repeats or (2 if args.quick else 3)
+
+    rows = bench_remote_scaling(
+        num_nodes=nodes,
+        avg_degree=args.avg_degree,
+        dim=dim,
+        repeats=repeats,
+        worker_counts=args.workers,
+        kill_one=not args.no_kill,
+    )
+    print(format_table(rows, title="Remote scaling (distributed worker tier)"))
+
+    if args.json:
+        path = record_benchmark(
+            "remote",
+            rows,
+            path=args.json,
+            extra={"config": {"nodes": nodes, "dim": dim, "repeats": repeats}},
+        )
+        print(f"wrote {path}")
+
+    failures = []
+    for r in rows:
+        if not r["identical"]:
+            failures.append(
+                f"{r['leg']} leg, {r['workers']} workers: "
+                "result not bitwise identical"
+            )
+    failover = [r for r in rows if r["leg"] == "failover"]
+    for r in failover:
+        if r["hosts_lost"] < 1 or r["retries"] < 1:
+            failures.append(
+                "failover leg did not exercise recovery "
+                f"(hosts_lost={r['hosts_lost']}, retries={r['retries']})"
+            )
+    if failures and not args.no_check:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    if failures:
+        print("targets missed (reported only)")
+    else:
+        print("remote execution targets met (bitwise identity + failover)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

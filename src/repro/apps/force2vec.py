@@ -35,13 +35,12 @@ import numpy as np
 
 from ..baselines.dense import dense_sigmoid_embedding, dense_spmm
 from ..baselines.unfused import unfused_fusedmm
-from ..core.fused import BACKENDS as KERNEL_BACKENDS
 from ..core.fused import fusedmm
 from ..errors import BackendError, ShapeError
 from ..graphs.features import random_features
 from ..graphs.graph import Graph
-from ..runtime import KernelRuntime
-from ..sparse import CSRMatrix, validate_reorder
+from ..runtime import KernelRuntime, RuntimeOptions
+from ..sparse import CSRMatrix
 from .sampling import NegativeSampler, minibatch_indices
 
 __all__ = ["Force2VecConfig", "EpochStats", "Force2Vec", "EMBEDDING_BACKENDS"]
@@ -50,12 +49,21 @@ EMBEDDING_BACKENDS = ("fused", "fused_generic", "unfused", "dense")
 
 
 @dataclass
-class Force2VecConfig:
+class Force2VecConfig(RuntimeOptions):
     """Hyper-parameters of Force2Vec training.
 
     The defaults follow the paper's end-to-end setup: ``dim=128``,
     ``batch_size=256``; the learning rate and negative-sample count follow
     the Force2Vec reference implementation.
+
+    The kernel-execution knobs (``kernel_backend``, ``reorder``,
+    ``num_threads``, ``processes``, ``shard_min_nnz``) are inherited from
+    :class:`~repro.runtime.RuntimeOptions` — one definition shared with
+    every other app config and with ``ServeConfig``.  Note: Force2Vec
+    trains through minibatch row slices and sampled negatives
+    (``run_on``), which always execute in natural order — the ``reorder``
+    tier only accelerates full-adjacency ``step`` calls, so non-"none"
+    values mostly add plan-build cost here.
     """
 
     dim: int = 128
@@ -65,35 +73,15 @@ class Force2VecConfig:
     negative_samples: int = 5
     seed: int = 0
     backend: str = "fused"
-    #: kernel backend of the fused path (:data:`repro.core.BACKENDS`):
-    #: "auto" prefers the Numba jit tier when importable
-    kernel_backend: str = "auto"
-    #: locality tier of the full-graph plans (:data:`repro.sparse.REORDER_CHOICES`):
-    #: "none" keeps bitwise-exact execution, "auto" measures once per plan.
-    #: Note: Force2Vec trains through minibatch row slices and sampled
-    #: negatives (``run_on``), which always execute in natural order — the
-    #: tier only accelerates full-adjacency ``step`` calls, so non-"none"
-    #: values mostly add plan-build cost here ("auto" is measured against
-    #: the full graph, not the minibatch path).
-    reorder: str = "none"
-    num_threads: int = 1
-    #: worker processes of the sharded execution tier (0 = in-process);
-    #: see :mod:`repro.runtime.workers`
-    processes: int = 0
     #: clip gradient norms to this value (0 disables clipping)
     max_grad_norm: float = 5.0
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         if self.backend not in EMBEDDING_BACKENDS:
             raise BackendError(
                 f"unknown embedding backend {self.backend!r}; expected {EMBEDDING_BACKENDS}"
             )
-        if self.kernel_backend not in KERNEL_BACKENDS:
-            raise BackendError(
-                f"unknown kernel backend {self.kernel_backend!r}; "
-                f"expected one of {KERNEL_BACKENDS}"
-            )
-        validate_reorder(self.reorder)
         if self.dim <= 0 or self.batch_size <= 0 or self.epochs < 0:
             raise ShapeError("dim and batch_size must be positive, epochs non-negative")
         if self.negative_samples < 0:
@@ -145,12 +133,11 @@ class Force2Vec:
         # ``processes`` set, large minibatch kernels run on the sharded
         # multi-process tier (bitwise identical results).
         self._runtime = KernelRuntime(
-            num_threads=self.config.num_threads,
             cache_size=4,
-            processes=self.config.processes,
             # Panel geometry / reorder sweeps size against the real
             # embedding dimension, not the 128 default.
             autotune_dim=self.config.dim,
+            **self.config.runtime_kwargs(),
         )
         self._sig_stream = self._runtime.epochs(
             self.adjacency,

@@ -26,13 +26,12 @@ from typing import List, Optional
 import numpy as np
 
 from ..baselines.unfused import unfused_fusedmm
-from ..core.fused import BACKENDS as KERNEL_BACKENDS
 from ..core.fused import fusedmm
 from ..errors import BackendError, ShapeError
 from ..graphs.features import uniform_features
 from ..graphs.graph import Graph
-from ..runtime import KernelRuntime
-from ..sparse import CSRMatrix, validate_reorder
+from ..runtime import KernelRuntime, RuntimeOptions
+from ..sparse import CSRMatrix
 from .sampling import NegativeSampler
 
 __all__ = ["FRLayoutConfig", "FRLayout"]
@@ -41,8 +40,12 @@ LAYOUT_BACKENDS = ("fused", "fused_generic", "unfused")
 
 
 @dataclass
-class FRLayoutConfig:
-    """Hyper-parameters of the FR layout driver."""
+class FRLayoutConfig(RuntimeOptions):
+    """Hyper-parameters of the FR layout driver.
+
+    Kernel-execution knobs are inherited from
+    :class:`~repro.runtime.RuntimeOptions`.
+    """
 
     dim: int = 2
     iterations: int = 50
@@ -51,26 +54,13 @@ class FRLayoutConfig:
     repulsive_samples: int = 5
     seed: int = 0
     backend: str = "fused"
-    #: kernel backend of the fused path (:data:`repro.core.BACKENDS`)
-    kernel_backend: str = "auto"
-    #: locality tier of the full-graph layout plan
-    #: (:data:`repro.sparse.REORDER_CHOICES`)
-    reorder: str = "none"
-    num_threads: int = 1
-    #: worker processes of the sharded execution tier (0 = in-process)
-    processes: int = 0
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         if self.backend not in LAYOUT_BACKENDS:
             raise BackendError(
                 f"unknown layout backend {self.backend!r}; expected {LAYOUT_BACKENDS}"
             )
-        if self.kernel_backend not in KERNEL_BACKENDS:
-            raise BackendError(
-                f"unknown kernel backend {self.kernel_backend!r}; "
-                f"expected one of {KERNEL_BACKENDS}"
-            )
-        validate_reorder(self.reorder)
         if self.dim <= 0 or self.iterations < 0:
             raise ShapeError("dim must be positive and iterations non-negative")
         if not 0.0 < self.cooling <= 1.0:
@@ -96,12 +86,11 @@ class FRLayout:
         # processes when ``processes`` is set).  The sampled repulsive
         # matrices reuse the same plan via ``run_on``.
         self._runtime = KernelRuntime(
-            num_threads=self.config.num_threads,
             cache_size=4,
-            processes=self.config.processes,
             # Panel geometry / reorder sweeps size against the layout
             # dimension (typically 2), not the 128 default.
             autotune_dim=self.config.dim,
+            **self.config.runtime_kwargs(),
         )
         self._force_stream = self._runtime.epochs(
             self.adjacency,

@@ -25,12 +25,11 @@ import numpy as np
 
 from ..baselines.mkl_like import scipy_available, vendor_spmm
 from ..baselines.unfused import unfused_fusedmm
-from ..core.fused import BACKENDS as KERNEL_BACKENDS
 from ..errors import BackendError, ShapeError
-from ..runtime import KernelRuntime
+from ..runtime import KernelRuntime, RuntimeOptions
 from ..graphs.features import xavier_init
 from ..graphs.graph import Graph
-from ..sparse import CSRMatrix, validate_reorder
+from ..sparse import CSRMatrix
 
 __all__ = ["GCNConfig", "GCN", "normalize_adjacency", "GCN_BACKENDS"]
 
@@ -58,8 +57,13 @@ def normalize_adjacency(A: CSRMatrix, *, add_self_loops: bool = True) -> CSRMatr
 
 
 @dataclass
-class GCNConfig:
-    """GCN architecture + training hyper-parameters."""
+class GCNConfig(RuntimeOptions):
+    """GCN architecture + training hyper-parameters.
+
+    Kernel-execution knobs (``kernel_backend``, ``reorder``, ``num_threads``,
+    ``processes``, ``shard_min_nnz``) are inherited from
+    :class:`~repro.runtime.RuntimeOptions`.
+    """
 
     hidden_dim: int = 16
     learning_rate: float = 0.2
@@ -67,23 +71,11 @@ class GCNConfig:
     weight_decay: float = 5e-4
     seed: int = 0
     backend: str = "fused"
-    #: kernel backend of the fused aggregation (:data:`repro.core.BACKENDS`)
-    kernel_backend: str = "auto"
-    #: locality tier of the aggregation plan (:data:`repro.sparse.REORDER_CHOICES`)
-    reorder: str = "none"
-    num_threads: int = 1
-    #: worker processes of the sharded execution tier (0 = in-process)
-    processes: int = 0
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         if self.backend not in GCN_BACKENDS:
             raise BackendError(f"unknown GCN backend {self.backend!r}; expected {GCN_BACKENDS}")
-        if self.kernel_backend not in KERNEL_BACKENDS:
-            raise BackendError(
-                f"unknown kernel backend {self.kernel_backend!r}; "
-                f"expected one of {KERNEL_BACKENDS}"
-            )
-        validate_reorder(self.reorder)
         if self.hidden_dim <= 0:
             raise ShapeError("hidden_dim must be positive")
 
@@ -124,12 +116,11 @@ class GCN:
         # forward/backward SpMM reuses the cached plan (sharded over worker
         # processes when ``processes`` is set).
         self._runtime = KernelRuntime(
-            num_threads=cfg.num_threads,
             cache_size=4,
-            processes=cfg.processes,
             # Two of the three aggregations per epoch run at hidden_dim,
             # so panel geometry / reorder sweeps size against it.
             autotune_dim=cfg.hidden_dim,
+            **cfg.runtime_kwargs(),
         )
         self._agg_stream = self._runtime.epochs(
             self.A_hat,

@@ -21,12 +21,11 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..core.fused import BACKENDS as KERNEL_BACKENDS
-from ..errors import BackendError, ShapeError
+from ..errors import ShapeError
 from ..graphs.features import random_features
 from ..graphs.graph import Graph
-from ..runtime import KernelRuntime
-from ..sparse import CSRMatrix, validate_reorder
+from ..runtime import KernelRuntime, RuntimeOptions
+from ..sparse import CSRMatrix
 from .force2vec import EpochStats
 from .sampling import NegativeSampler, minibatch_indices
 
@@ -34,8 +33,15 @@ __all__ = ["VerseConfig", "Verse"]
 
 
 @dataclass
-class VerseConfig:
-    """Hyper-parameters of VERSE training (adjacency-similarity variant)."""
+class VerseConfig(RuntimeOptions):
+    """Hyper-parameters of VERSE training (adjacency-similarity variant).
+
+    Kernel-execution knobs are inherited from
+    :class:`~repro.runtime.RuntimeOptions`.  VERSE trains through minibatch
+    row slices (``run_on``), which always execute in natural order — the
+    ``reorder`` tier only accelerates full-matrix ``step`` calls, so
+    non-"none" values mostly add plan-build cost here.
+    """
 
     dim: int = 128
     batch_size: int = 256
@@ -43,29 +49,13 @@ class VerseConfig:
     learning_rate: float = 0.025
     noise_samples: int = 3
     seed: int = 0
-    #: kernel backend of the FusedMM calls (:data:`repro.core.BACKENDS`)
-    kernel_backend: str = "auto"
-    #: locality tier of the similarity-matrix plans
-    #: (:data:`repro.sparse.REORDER_CHOICES`).  VERSE trains through
-    #: minibatch row slices (``run_on``), which always execute in natural
-    #: order — the tier only accelerates full-matrix ``step`` calls, so
-    #: non-"none" values mostly add plan-build cost here.
-    reorder: str = "none"
-    num_threads: int = 1
-    #: worker processes of the sharded execution tier (0 = in-process)
-    processes: int = 0
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         if self.dim <= 0 or self.batch_size <= 0:
             raise ShapeError("dim and batch_size must be positive")
         if self.noise_samples < 0:
             raise ShapeError("noise_samples must be non-negative")
-        if self.kernel_backend not in KERNEL_BACKENDS:
-            raise BackendError(
-                f"unknown kernel backend {self.kernel_backend!r}; "
-                f"expected one of {KERNEL_BACKENDS}"
-            )
-        validate_reorder(self.reorder)
 
 
 class Verse:
@@ -90,12 +80,11 @@ class Verse:
         # through the cached plans via ``run_on`` (and through the sharded
         # worker tier when ``processes`` is set).
         self._runtime = KernelRuntime(
-            num_threads=self.config.num_threads,
             cache_size=4,
-            processes=self.config.processes,
             # Panel geometry / reorder sweeps size against the real
             # embedding dimension, not the 128 default.
             autotune_dim=self.config.dim,
+            **self.config.runtime_kwargs(),
         )
         self._sig_stream = self._runtime.epochs(
             self.similarity,

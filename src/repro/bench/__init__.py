@@ -26,6 +26,11 @@ def __getattr__(name: str):
         from .serve_bench import bench_serve_throughput
 
         return bench_serve_throughput
+    # Lazy for the same reason: pulls in the remote/runtime stack.
+    if name == "bench_remote_scaling":
+        from .remote_bench import bench_remote_scaling
+
+        return bench_remote_scaling
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -33,6 +38,7 @@ __all__ = [
     "record_benchmark",
     "load_benchmark",
     "bench_shard_scaling",
+    "bench_remote_scaling",
     "bench_jit_speedup",
     "bench_reorder_locality",
     "bench_serve_throughput",

@@ -1,0 +1,203 @@
+"""Remote-scaling benchmark for the distributed worker tier.
+
+Measures :meth:`KernelRuntime.run_sharded` when the shards execute on
+``repro worker`` host processes over localhost TCP (the real deployment
+artifact — ``python -m repro worker`` subprocesses, not in-process
+threads), always verifying bitwise equality against the sequential
+single-process kernel.  An optional failover leg starts two hosts, one of
+them fault-injected to crash on its first RUN request, and asserts the
+batch still completes bitwise on the survivor.
+
+Exposed to both ``repro bench remote`` and
+``benchmarks/bench_remote_scaling.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.fused import fusedmm
+from ..graphs import rmat
+from ..graphs.features import random_features
+from ..runtime import KernelRuntime
+from ..runtime.remote import REPRO_WORKER_CRASH_AFTER
+
+__all__ = ["bench_remote_scaling", "spawn_worker"]
+
+#: How long to wait for worker hosts to register before giving up.
+_JOIN_TIMEOUT_S = 60.0
+
+
+def spawn_worker(
+    port: int,
+    name: str,
+    *,
+    threads: int = 1,
+    crash_after: Optional[int] = None,
+) -> subprocess.Popen:
+    """Start one ``python -m repro worker`` subprocess against ``port``.
+
+    ``crash_after=N`` arms the fault-injection hook: the worker drops its
+    connection (and exits) instead of replying to its ``N``-th RUN
+    request — the deterministic stand-in for a host dying mid-batch.
+    """
+    env = dict(os.environ)
+    src_dir = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    if crash_after is not None:
+        env[REPRO_WORKER_CRASH_AFTER] = str(crash_after)
+    else:
+        env.pop(REPRO_WORKER_CRASH_AFTER, None)
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--port",
+            str(port),
+            "--name",
+            name,
+            "--threads",
+            str(threads),
+            "--once",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _reap(procs: List[subprocess.Popen]) -> None:
+    for proc in procs:
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in procs:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def bench_remote_scaling(
+    *,
+    num_nodes: int = 20_000,
+    avg_degree: int = 16,
+    dim: int = 64,
+    repeats: int = 3,
+    worker_counts: Sequence[int] = (1, 2),
+    pattern: str = "sigmoid_embedding",
+    kill_one: bool = True,
+    seed: int = 5,
+) -> List[Dict[str, object]]:
+    """Throughput of remote sharded execution at each worker-host count.
+
+    Every row records whether the distributed result was bitwise
+    identical to sequential ``fusedmm`` — the tier's identity contract is
+    that shard *placement* (local process, remote host, parent fallback)
+    never changes the bytes of ``Z``.  With ``kill_one`` a final failover
+    row runs two hosts, one rigged to crash mid-batch, and reports the
+    recovery wall-clock plus the controller's loss/retry counters.
+    """
+    A = rmat(num_nodes, num_nodes * avg_degree, seed=seed)
+    X = random_features(A.nrows, dim, seed=seed)
+    ref = fusedmm(A, X, X, pattern=pattern, num_threads=1)
+
+    rows: List[Dict[str, object]] = []
+    for workers in worker_counts:
+        runtime = KernelRuntime(num_threads=1, processes=0, remote_port=0)
+        procs: List[subprocess.Popen] = []
+        try:
+            controller = runtime.controller
+            procs = [
+                spawn_worker(controller.port, f"w{i}") for i in range(int(workers))
+            ]
+            joined = controller.wait_for_hosts(int(workers), timeout=_JOIN_TIMEOUT_S)
+            if joined < int(workers):
+                raise RuntimeError(
+                    f"only {joined}/{workers} worker hosts registered within "
+                    f"{_JOIN_TIMEOUT_S}s"
+                )
+            Z = runtime.run_sharded(A, X, pattern=pattern)  # warm-up + plan + ship
+            identical = bool(np.array_equal(Z, ref))
+            total = 0.0
+            for _ in range(max(1, repeats)):
+                t0 = time.perf_counter()
+                runtime.run_sharded(A, X, pattern=pattern)
+                total += time.perf_counter() - t0
+            seconds = total / max(1, repeats)
+            remote_stats = runtime.stats()["remote"]
+        finally:
+            runtime.close()
+            _reap(procs)
+        rows.append(
+            {
+                "benchmark": "remote_scaling",
+                "leg": "scale",
+                "graph": f"rmat n={num_nodes}",
+                "nnz": A.nnz,
+                "d": dim,
+                "pattern": pattern,
+                "workers": int(workers),
+                "seconds": seconds,
+                "edges_per_s": A.nnz / max(seconds, 1e-12),
+                "identical": identical,
+                "hosts_lost": remote_stats["hosts_lost"],
+            }
+        )
+
+    base = next((r for r in rows if r["workers"] == 1), rows[0] if rows else None)
+    for r in rows:
+        r["speedup_vs_1worker"] = r["edges_per_s"] / max(base["edges_per_s"], 1e-12)
+
+    if kill_one:
+        runtime = KernelRuntime(num_threads=1, processes=0, remote_port=0)
+        procs = []
+        try:
+            controller = runtime.controller
+            # One healthy host, one rigged to crash on its first RUN: the
+            # controller must detect the loss, re-route the dead host's
+            # shard group to the survivor and still return the exact bytes.
+            procs = [
+                spawn_worker(controller.port, "survivor"),
+                spawn_worker(controller.port, "victim", crash_after=1),
+            ]
+            joined = controller.wait_for_hosts(2, timeout=_JOIN_TIMEOUT_S)
+            if joined < 2:
+                raise RuntimeError(
+                    f"only {joined}/2 worker hosts registered within "
+                    f"{_JOIN_TIMEOUT_S}s"
+                )
+            t0 = time.perf_counter()
+            Z = runtime.run_sharded(A, X, pattern=pattern)
+            seconds = time.perf_counter() - t0
+            identical = bool(np.array_equal(Z, ref))
+            remote_stats = runtime.stats()["remote"]
+        finally:
+            runtime.close()
+            _reap(procs)
+        rows.append(
+            {
+                "benchmark": "remote_scaling",
+                "leg": "failover",
+                "graph": f"rmat n={num_nodes}",
+                "nnz": A.nnz,
+                "d": dim,
+                "pattern": pattern,
+                "workers": 2,
+                "seconds": seconds,
+                "edges_per_s": A.nnz / max(seconds, 1e-12),
+                "identical": identical,
+                "hosts_lost": remote_stats["hosts_lost"],
+                "retries": remote_stats["retries"],
+            }
+        )
+    return rows

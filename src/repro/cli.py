@@ -15,6 +15,8 @@ Sub-commands
                   cache-blocked execution vs the natural ordering;
                   ``bench serve``: serving throughput — micro-batching
                   coalescer vs one-request-at-a-time dispatch;
+                  ``bench remote``: distributed tier — TCP worker hosts
+                  vs in-process sharding, with a kill-one-host leg;
                   ``bench compare``: diff BENCH_*.json trend records and
                   gate on regressions)
 ``runtime``       runtime observability (``runtime stats``: drive a
@@ -25,7 +27,12 @@ Sub-commands
 ``serve``         start the async HTTP serving front-end: request
                   coalescing + micro-batching over the kernel runtime
                   (``/v1/kernel``, ``/v1/embed/<model>``, ``/healthz``,
-                  ``/statz``)
+                  ``/statz``); ``--remote-port`` additionally opens the
+                  distributed controller for ``repro worker`` hosts
+``worker``        start one distributed worker host: connects to a
+                  controller (a ``KernelRuntime`` with ``remote_port``
+                  set, e.g. ``repro serve --remote-port``), receives CSR
+                  shards once per matrix and executes row-ranges
 ``report``        regenerate EXPERIMENTS.md style results (all experiments,
                   scaled down) and write them to a Markdown file
 
@@ -338,6 +345,60 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0 if all(r["bitwise_identical"] for r in rows) else 1
 
 
+def _cmd_bench_remote(args: argparse.Namespace) -> int:
+    from .bench.remote_bench import bench_remote_scaling
+
+    rows = bench_remote_scaling(
+        num_nodes=args.nodes,
+        avg_degree=args.avg_degree,
+        dim=args.dim,
+        repeats=args.repeats,
+        worker_counts=args.workers,
+        pattern=args.pattern,
+        kill_one=not args.no_kill,
+    )
+    print(format_table(rows, title="Remote scaling (distributed worker tier)"))
+    if args.json:
+        from .bench.record import record_benchmark
+
+        print(f"wrote {record_benchmark('remote', rows, path=args.json)}")
+    return 0 if all(r["identical"] for r in rows) else 1
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import os
+
+    from .runtime.remote import REPRO_WORKER_CRASH_AFTER, WorkerAgent
+
+    # Fault-injection hook for tests/CI: crash (drop the connection and
+    # exit) instead of replying to the Nth RUN request.
+    crash_after = os.environ.get(REPRO_WORKER_CRASH_AFTER)
+    agent = WorkerAgent(
+        args.controller_host,
+        args.port,
+        name=args.name,
+        threads=args.threads,
+        matrix_cache=args.matrix_cache,
+        crash_after=int(crash_after) if crash_after else None,
+        exit_on_crash=True,
+    )
+    print(
+        f"repro worker: connecting to {args.controller_host}:{args.port} "
+        f"(threads={args.threads})",
+        flush=True,
+    )
+    try:
+        if args.once:
+            agent.serve()
+        else:
+            agent.run_forever(reconnect_delay=args.reconnect_delay)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        agent.stop()
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import DEFAULT_MODELS, KernelServer, ModelSpec, ServeConfig
 
@@ -362,6 +423,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         wire_port=args.wire_port,
         wire_credits=args.wire_credits,
+        remote_port=args.remote_port,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         max_queue=args.max_queue,
@@ -509,6 +571,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench_sv.add_argument("--json", metavar="PATH", default=None)
     p_bench_sv.set_defaults(func=_cmd_bench_serve)
 
+    p_bench_rm = bench_sub.add_parser(
+        "remote", help="distributed tier: TCP worker hosts vs in-process sharding"
+    )
+    p_bench_rm.add_argument("--nodes", type=int, default=20_000)
+    p_bench_rm.add_argument("--avg-degree", type=int, default=16)
+    p_bench_rm.add_argument("--dim", type=int, default=64)
+    p_bench_rm.add_argument("--workers", type=int, nargs="+", default=[1, 2])
+    p_bench_rm.add_argument("--repeats", type=int, default=3)
+    p_bench_rm.add_argument("--pattern", default="sigmoid_embedding")
+    p_bench_rm.add_argument(
+        "--no-kill",
+        action="store_true",
+        help="skip the fault-tolerance leg (kill one worker mid-batch)",
+    )
+    p_bench_rm.add_argument("--json", metavar="PATH", default=None)
+    p_bench_rm.set_defaults(func=_cmd_bench_remote)
+
     p_bench_cmp = bench_sub.add_parser(
         "compare", help="diff BENCH_*.json trend records, gate on regressions"
     )
@@ -569,6 +648,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="default per-request deadline (0 = none)",
     )
+    p_serve.add_argument(
+        "--remote-port",
+        type=int,
+        default=None,
+        help="open the distributed controller on this port so repro "
+        "worker hosts can join the sharded tier (0 = ephemeral; omit "
+        "for local-only execution)",
+    )
     p_serve.add_argument("--threads", type=int, default=1)
     p_serve.add_argument("--processes", type=int, default=0)
     p_serve.add_argument(
@@ -589,6 +676,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--scale", type=float, default=0.25)
     p_serve.add_argument("--train-epochs", type=int, default=1)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_worker = sub.add_parser(
+        "worker", help="start one distributed worker host (joins a controller)"
+    )
+    p_worker.add_argument(
+        "--controller-host",
+        default="127.0.0.1",
+        help="host the controller listens on",
+    )
+    p_worker.add_argument(
+        "--port", type=int, required=True, help="controller port to register with"
+    )
+    p_worker.add_argument(
+        "--name", default=None, help="host name reported to the controller"
+    )
+    p_worker.add_argument(
+        "--threads", type=int, default=1, help="kernel threads per run request"
+    )
+    p_worker.add_argument(
+        "--matrix-cache",
+        type=int,
+        default=16,
+        help="CSR matrices kept resident (LRU)",
+    )
+    p_worker.add_argument(
+        "--reconnect-delay",
+        type=float,
+        default=1.0,
+        help="seconds between reconnect attempts after a controller restart",
+    )
+    p_worker.add_argument(
+        "--once",
+        action="store_true",
+        help="exit when the controller disconnects instead of reconnecting",
+    )
+    p_worker.set_defaults(func=_cmd_worker)
 
     p_report = sub.add_parser("report", help="regenerate the experiments report")
     p_report.add_argument("--output", default="EXPERIMENTS_GENERATED.md")

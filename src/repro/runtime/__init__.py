@@ -8,6 +8,9 @@ This package is the serving/scheduling layer above :mod:`repro.core`:
 ``batch``        request packing (block-diagonal) and scheduling metadata
 ``shard``        nnz-balanced assignment of plan partitions to worker shards
 ``workers``      persistent multiprocessing pool with shared-memory CSR
+``codec``        transport-neutral worker protocol (specs, CSR payloads)
+``remote``       distributed tier: TCP worker hosts + in-runtime controller
+``options``      :class:`RuntimeOptions` — the shared kernel-knob dataclass
 ``runtime``      :class:`KernelRuntime` — run / submit / run_batch / epochs
                  / run_sharded / submit_sharded
 ``aio``          asyncio bridge: await pool/worker futures and run_batch
@@ -34,18 +37,24 @@ from .fingerprint import (
     fingerprint_memo_info,
     matrix_fingerprint,
 )
+from .options import RuntimeOptions
 from .plan import KernelPlan, PlanKey, build_plan, pattern_key
+from .remote import RemoteController, WorkerAgent
 from .runtime import EpochStream, KernelRuntime
-from .shard import ShardAssignment, ShardPlan, assign_shards
+from .shard import ShardAssignment, ShardPlan, assign_shards, route_shards
 from .workers import WorkerPool, default_start_method
 
 __all__ = [
     "KernelRuntime",
     "EpochStream",
+    "RuntimeOptions",
     "ShardPlan",
     "ShardAssignment",
     "assign_shards",
+    "route_shards",
     "WorkerPool",
+    "WorkerAgent",
+    "RemoteController",
     "default_start_method",
     "KernelRequest",
     "KernelPlan",

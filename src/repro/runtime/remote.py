@@ -1,0 +1,812 @@
+"""Distributed kernel execution: TCP worker hosts + the in-runtime controller.
+
+This is the network sibling of the shared-memory worker pool: shards of a
+planned kernel call span *machines* instead of processes.  Three pieces:
+
+* :class:`WorkerAgent` — the host process started by ``repro worker``.  It
+  dials the controller, registers its capacity, then serves a tiny
+  command protocol over one framed TCP connection (the ``b"RK"`` codec of
+  :mod:`repro.runtime.codec`): cache a CSR once per ``(host, fingerprint)``,
+  execute row-ranges against it, answer heartbeats.
+* :class:`RemoteController` — lives inside
+  :class:`~repro.runtime.runtime.KernelRuntime`.  It accepts agent
+  registrations, routes contiguous shard groups to hosts by nnz/slot
+  balance (:func:`~repro.runtime.shard.route_shards`), ships matrices
+  lazily and re-ships them after reconnects, and extends
+  :class:`~repro.errors.WorkerCrashError` semantics to network partitions:
+  heartbeat/timeout detection, lost groups retried on surviving hosts,
+  in-parent fallback when none survive — a dropped worker never hangs or
+  corrupts a batch.
+* The determinism contract: agents rebuild dispatch configs through the
+  same :func:`~repro.runtime.codec.build_worker_config` the shm workers
+  use and execute the plan's own partitions against the full CSR with
+  ``out=``/``row_offset=``, so remote results are **bitwise identical** to
+  local sharded and to sequential in-process execution for any shard
+  count and any host layout (asserted at 1/2/4 shards in the tests and
+  the CI distributed-smoke job).
+
+Wire conversation (one frame per line; all frames carry a request id the
+reply echoes)::
+
+    agent → controller   REGISTER {name, slots, threads, pid}
+    controller → agent   WELCOME  {host_id}
+    controller → agent   PING | LOAD {key} (+csr blobs) | DROP {key}
+                         | RUN {key, spec, parts, y_same_as_x} (+x/+y)
+                         | EXIT
+    agent → controller   RESULT {...} (+z block for RUN) | ERROR {status,
+                         error[, missing_key]}
+
+Every exchange is strictly request/reply under a per-host lock, so one
+slow host never desynchronises another host's framing.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import WorkerCrashError, WorkerError
+from ..framing import ProtocolError, decode_payload, encode_payload
+from ..sparse import CSRMatrix
+from .codec import (
+    OP_DROP,
+    OP_ERROR,
+    OP_EXIT,
+    OP_LOAD,
+    OP_PING,
+    OP_REGISTER,
+    OP_RESULT,
+    OP_RUN,
+    OP_WELCOME,
+    WORKER_CODEC,
+    build_worker_config,
+    config_cache_key,
+    decode_csr,
+    encode_csr,
+    spec_from_meta,
+)
+from .shard import ShardAssignment, ShardPlan, route_shards
+
+__all__ = ["WorkerAgent", "RemoteController", "REPRO_WORKER_CRASH_AFTER"]
+
+#: Environment variable read by ``repro worker``: crash (``os._exit``) on
+#: receiving the Nth RUN frame.  Fault-injection hook for tests and the CI
+#: distributed-smoke job — never set it in production.
+REPRO_WORKER_CRASH_AFTER = "REPRO_WORKER_CRASH_AFTER"
+
+#: Reply window for heartbeat pings (seconds) — deliberately much shorter
+#: than the run timeout: an idle host that cannot answer a ping within
+#: this window is partitioned, not busy.
+_PING_TIMEOUT = 5.0
+
+
+def _recv_reply(rfile) -> Tuple[int, int, bytes]:
+    """One reply frame off a blocking connection; EOF is a connection loss."""
+    frame = WORKER_CODEC.read_frame(rfile)
+    if frame is None:
+        raise ConnectionError("peer closed the connection")
+    return frame
+
+
+# ---------------------------------------------------------------------- #
+# Worker host process
+# ---------------------------------------------------------------------- #
+class WorkerAgent:
+    """One worker host: registers with a controller and executes row-ranges.
+
+    Parameters
+    ----------
+    host, port:
+        The controller's listening address.
+    name:
+        Advertised host name (defaults to ``hostname:pid``).
+    threads:
+        Kernel threads per RUN on this host.  Results stay bitwise
+        identical for any value — the runtime's determinism contract
+        covers thread counts — so agents on big machines run ``threads >
+        1`` while the shm pool stays single-threaded per process.
+    slots:
+        Routing weight the controller balances nnz against (defaults to
+        ``threads``).
+    matrix_cache:
+        LRU bound on CSRs kept resident (mirrors the shm pool's bound).
+    crash_after:
+        Fault injection: after receiving this many RUN frames the agent
+        drops the connection without replying (and ``os._exit(1)``-s when
+        ``exit_on_crash`` — the ``repro worker`` behaviour, so the whole
+        host dies exactly as a kill would).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        name: Optional[str] = None,
+        threads: int = 1,
+        slots: Optional[int] = None,
+        matrix_cache: int = 16,
+        connect_timeout: float = 10.0,
+        crash_after: Optional[int] = None,
+        exit_on_crash: bool = False,
+    ) -> None:
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        self.controller_address = (host, int(port))
+        self.name = name or f"{socket.gethostname()}:{os.getpid()}"
+        self.threads = int(threads)
+        self.slots = int(slots if slots is not None else threads)
+        if self.slots < 1:
+            raise ValueError(f"slots must be >= 1, got {self.slots}")
+        self.matrix_cache = int(matrix_cache)
+        self.connect_timeout = connect_timeout
+        self.crash_after = crash_after
+        self.exit_on_crash = exit_on_crash
+        self.runs_executed = 0
+        self._runs_seen = 0
+        self._sock: Optional[socket.socket] = None
+        self._stop = threading.Event()
+        self._matrices: "OrderedDict[str, CSRMatrix]" = OrderedDict()
+        self._configs: Dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------ #
+    def stop(self) -> None:
+        """Break the serve loop from another thread (tests, signals)."""
+        self._stop.set()
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def serve(self) -> str:
+        """Dial the controller and serve until EXIT or disconnect.
+
+        Returns the reason the loop ended: ``"exit"`` (controller said
+        so), ``"disconnected"`` (controller went away), ``"stopped"``
+        (:meth:`stop`), or ``"crashed"`` (fault injection fired).
+        """
+        # Warm the JIT kernel cache before taking traffic, exactly as the
+        # shm workers do at spawn.
+        try:
+            from ..core.jit import warmup
+
+            warmup()
+        except Exception:
+            pass
+        sock = socket.create_connection(
+            self.controller_address, timeout=self.connect_timeout
+        )
+        sock.settimeout(None)
+        self._sock = sock
+        rfile = sock.makefile("rb")
+        try:
+            sock.sendall(
+                WORKER_CODEC.pack_frame(
+                    OP_REGISTER,
+                    0,
+                    encode_payload(
+                        {
+                            "name": self.name,
+                            "slots": self.slots,
+                            "threads": self.threads,
+                            "pid": os.getpid(),
+                        }
+                    ),
+                )
+            )
+            opcode, _, payload = _recv_reply(rfile)
+            if opcode != OP_WELCOME:
+                raise ProtocolError(
+                    f"expected WELCOME, got opcode 0x{opcode:02x}"
+                )
+            return self._serve_loop(sock, rfile)
+        except (ConnectionError, OSError):
+            return "stopped" if self._stop.is_set() else "disconnected"
+        finally:
+            self._sock = None
+            try:
+                rfile.close()
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def run_forever(self, reconnect_delay: float = 1.0) -> None:
+        """Serve, reconnecting after controller restarts, until stopped."""
+        while not self._stop.is_set():
+            try:
+                reason = self.serve()
+            except ConnectionError:
+                reason = "disconnected"
+            if reason in ("exit", "stopped", "crashed"):
+                return
+            # Matrices and configs survive a reconnect, but the controller
+            # tracks loaded keys per connection and will re-ship; dropping
+            # our cache keeps both sides' views consistent.
+            self._matrices.clear()
+            if self._stop.wait(reconnect_delay):
+                return
+
+    # ------------------------------------------------------------------ #
+    def _serve_loop(self, sock: socket.socket, rfile) -> str:
+        def reply(opcode, request_id, meta, arrays=None):
+            sock.sendall(
+                WORKER_CODEC.pack_frame(
+                    opcode, request_id, encode_payload(meta, arrays)
+                )
+            )
+
+        while not self._stop.is_set():
+            frame = WORKER_CODEC.read_frame(rfile)
+            if frame is None:
+                return "disconnected"
+            opcode, request_id, payload = frame
+            try:
+                meta, arrays = decode_payload(payload)
+                if opcode == OP_EXIT:
+                    reply(OP_RESULT, request_id, {})
+                    return "exit"
+                elif opcode == OP_PING:
+                    reply(OP_RESULT, request_id, {})
+                elif opcode == OP_LOAD:
+                    key = str(meta["key"])
+                    if key not in self._matrices:
+                        self._matrices[key] = decode_csr(meta, arrays)
+                    self._matrices.move_to_end(key)
+                    while len(self._matrices) > self.matrix_cache:
+                        self._matrices.popitem(last=False)
+                    reply(OP_RESULT, request_id, {})
+                elif opcode == OP_DROP:
+                    self._matrices.pop(str(meta["key"]), None)
+                    reply(OP_RESULT, request_id, {})
+                elif opcode == OP_RUN:
+                    self._runs_seen += 1
+                    if (
+                        self.crash_after is not None
+                        and self._runs_seen >= self.crash_after
+                    ):
+                        if self.exit_on_crash:  # pragma: no cover - subprocess
+                            os._exit(1)
+                        try:
+                            sock.shutdown(socket.SHUT_RDWR)
+                        except OSError:
+                            pass
+                        return "crashed"
+                    key = str(meta["key"])
+                    A = self._matrices.get(key)
+                    if A is None:
+                        # Evicted (or a pre-reconnect key): tell the
+                        # controller to re-ship instead of guessing.
+                        reply(
+                            OP_ERROR,
+                            request_id,
+                            {
+                                "status": 404,
+                                "error": f"matrix {key!r} not loaded",
+                                "missing_key": key,
+                            },
+                        )
+                        continue
+                    self._matrices.move_to_end(key)
+                    Z_block, w0, w1 = self._execute(A, meta, arrays)
+                    reply(
+                        OP_RESULT,
+                        request_id,
+                        {"w0": w0, "w1": w1},
+                        {"z": Z_block},
+                    )
+                    self.runs_executed += 1
+                else:
+                    reply(
+                        OP_ERROR,
+                        request_id,
+                        {
+                            "status": 400,
+                            "error": f"unexpected opcode 0x{opcode:02x}",
+                        },
+                    )
+            except (ConnectionError, OSError):
+                raise
+            except Exception as exc:
+                import traceback
+
+                try:
+                    reply(
+                        OP_ERROR,
+                        request_id,
+                        {
+                            "status": 500,
+                            "error": (
+                                f"{exc}\n{traceback.format_exc()}"
+                            ),
+                        },
+                    )
+                except (ConnectionError, OSError):
+                    return "disconnected"
+        return "stopped"
+
+    def _execute(
+        self, A: CSRMatrix, meta: dict, arrays: Dict[str, np.ndarray]
+    ) -> Tuple[np.ndarray, int, int]:
+        """Execute one RUN frame's row-ranges; returns the output block."""
+        from ..core.partition import RowPartition
+
+        spec = spec_from_meta(meta["spec"])
+        cfg_key = config_cache_key(spec)
+        cfg = self._configs.get(cfg_key)
+        if cfg is None:
+            cfg = build_worker_config(spec, num_threads=self.threads)
+            self._configs[cfg_key] = cfg
+        X = arrays.get("x")
+        if meta.get("y_same_as_x"):
+            Y = X
+        else:
+            Y = arrays.get("y")
+        parts = [RowPartition(int(s), int(e), int(n)) for s, e, n in meta["parts"]]
+        w0 = min(p.start for p in parts)
+        w1 = max(p.stop for p in parts)
+        d = X.shape[1] if X is not None else Y.shape[1]
+        if X is not None:
+            out_dtype = X.dtype
+        elif np.issubdtype(Y.dtype, np.floating):
+            out_dtype = Y.dtype
+        else:  # pragma: no cover - integer Y normalised by kernels
+            out_dtype = np.dtype(np.float32)
+        Z_block = np.zeros((w1 - w0, d), dtype=out_dtype)
+        # Same call shape as the shm worker loop: the plan's own
+        # partitions against the full CSR through out=/row_offset=, so
+        # the arithmetic (and therefore the bytes) cannot differ.
+        cfg.execute(
+            A,
+            X,
+            Y,
+            parts=parts,
+            num_threads=self.threads,
+            block_size=spec["block_size"],
+            strategy=spec["strategy"],
+            out=Z_block,
+            row_offset=w0,
+        )
+        return Z_block, w0, w1
+
+
+# ---------------------------------------------------------------------- #
+# Controller (runtime side)
+# ---------------------------------------------------------------------- #
+class _RemoteHost:
+    """Controller-side record of one registered worker host."""
+
+    def __init__(self, host_id, name, slots, threads, sock, rfile, address):
+        self.host_id = host_id
+        self.name = name
+        self.slots = max(int(slots), 1)
+        self.threads = int(threads)
+        self.sock = sock
+        self.rfile = rfile
+        self.address = address
+        self.lock = threading.Lock()
+        self.loaded: set = set()
+        self.alive = True
+        self.runs = 0
+        self._next_id = 1
+
+    def next_request_id(self) -> int:
+        rid = self._next_id
+        self._next_id += 1
+        return rid
+
+    def close(self) -> None:
+        try:
+            self.rfile.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class RemoteController:
+    """Admits remote worker hosts and routes shard groups across them.
+
+    Owned by :class:`~repro.runtime.runtime.KernelRuntime` (created when
+    ``remote_port=`` is set).  Failure semantics extend the shm pool's:
+
+    * a host that drops mid-exchange (EOF, reset, mid-frame cut) or times
+      out is declared **lost** — its shard group is re-routed across the
+      surviving hosts and the matrix is re-shipped where needed;
+    * when no hosts survive, the unfinished assignments are *returned* to
+      the caller, which executes them in-parent — the batch completes
+      either way, it never hangs and never returns a partial ``Z``;
+    * an agent-side kernel *exception* (as opposed to a death) is
+      deterministic and propagates as :class:`~repro.errors.WorkerError`
+      without retry, matching :class:`~repro.runtime.workers.WorkerPool`.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_s: float = 2.0,
+        timeout: float = 60.0,
+    ) -> None:
+        self.heartbeat_s = heartbeat_s
+        self.timeout = timeout
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, int(port)))
+        self._listener.listen(16)
+        self.host = host
+        self.port = self._listener.getsockname()[1]
+        self._hosts: "OrderedDict[int, _RemoteHost]" = OrderedDict()
+        self._hosts_lock = threading.Lock()
+        self._next_host_id = 1
+        self._closed = threading.Event()
+        self.hosts_admitted = 0
+        self.hosts_lost = 0
+        self.batches = 0
+        self.retries = 0
+        self.parent_fallbacks = 0
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-remote-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name="repro-remote-heartbeat", daemon=True
+        )
+        self._heartbeat_thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Host admission + liveness
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                sock, address = self._listener.accept()
+            except OSError:
+                return
+            try:
+                sock.settimeout(self.timeout)
+                rfile = sock.makefile("rb")
+                frame = WORKER_CODEC.read_frame(rfile)
+                if frame is None:
+                    raise ConnectionError("agent hung up before registering")
+                opcode, _, payload = frame
+                if opcode != OP_REGISTER:
+                    raise ProtocolError(
+                        f"expected REGISTER, got opcode 0x{opcode:02x}"
+                    )
+                meta, _ = decode_payload(payload)
+                with self._hosts_lock:
+                    host_id = self._next_host_id
+                    self._next_host_id += 1
+                    record = _RemoteHost(
+                        host_id=host_id,
+                        name=str(meta.get("name", f"host-{host_id}")),
+                        slots=int(meta.get("slots", 1)),
+                        threads=int(meta.get("threads", 1)),
+                        sock=sock,
+                        rfile=rfile,
+                        address=address,
+                    )
+                    self._hosts[host_id] = record
+                    self.hosts_admitted += 1
+                sock.sendall(
+                    WORKER_CODEC.pack_frame(
+                        OP_WELCOME, 0, encode_payload({"host_id": host_id})
+                    )
+                )
+            except (ProtocolError, ConnectionError, OSError, socket.timeout):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def _heartbeat_loop(self) -> None:
+        while not self._closed.wait(self.heartbeat_s):
+            for record in self.live_hosts():
+                if not record.lock.acquire(blocking=False):
+                    continue  # mid-exchange; that path handles failures
+                try:
+                    self._request(
+                        record, OP_PING, {}, None, reply_timeout=_PING_TIMEOUT
+                    )
+                except (
+                    WorkerCrashError,
+                    ConnectionError,
+                    OSError,
+                    socket.timeout,
+                ):
+                    self._mark_lost(record, "missed heartbeat")
+                finally:
+                    record.lock.release()
+
+    def _mark_lost(self, record: _RemoteHost, why: str) -> None:
+        with self._hosts_lock:
+            if not record.alive:
+                return
+            record.alive = False
+            self._hosts.pop(record.host_id, None)
+            self.hosts_lost += 1
+        record.close()
+
+    def live_hosts(self) -> List[_RemoteHost]:
+        with self._hosts_lock:
+            return [h for h in self._hosts.values() if h.alive]
+
+    def total_slots(self) -> int:
+        return sum(h.slots for h in self.live_hosts())
+
+    def wait_for_hosts(self, count: int, timeout: float = 30.0) -> int:
+        """Block until ``count`` hosts registered (or the timeout hits)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            live = len(self.live_hosts())
+            if live >= count:
+                return live
+            time.sleep(0.02)
+        return len(self.live_hosts())
+
+    # ------------------------------------------------------------------ #
+    # Per-host request/reply
+    # ------------------------------------------------------------------ #
+    def _request(
+        self,
+        record: _RemoteHost,
+        opcode: int,
+        meta: dict,
+        arrays,
+        *,
+        reply_timeout: Optional[float] = None,
+    ) -> Tuple[dict, Dict[str, np.ndarray]]:
+        """One exchange with ``record`` (caller holds ``record.lock``).
+
+        Connection-level failures raise ``ConnectionError``/``OSError``;
+        agent-reported errors raise :class:`WorkerError` (or return the
+        error meta for the caller when it carries ``missing_key``).
+        """
+        rid = record.next_request_id()
+        record.sock.settimeout(
+            self.timeout if reply_timeout is None else reply_timeout
+        )
+        record.sock.sendall(
+            WORKER_CODEC.pack_frame(opcode, rid, encode_payload(meta, arrays))
+        )
+        while True:
+            reply_op, reply_id, payload = _recv_reply(record.rfile)
+            if reply_id != rid:
+                # A stale reply (e.g. from a timed-out earlier exchange)
+                # would desynchronise everything after it; drop the host.
+                raise ConnectionError(
+                    f"out-of-order reply {reply_id} (expected {rid})"
+                )
+            reply_meta, reply_arrays = decode_payload(payload)
+            if reply_op == OP_RESULT:
+                return reply_meta, reply_arrays
+            if reply_op == OP_ERROR:
+                if reply_meta.get("missing_key"):
+                    return reply_meta, reply_arrays
+                raise WorkerError(
+                    f"remote worker {record.name!r} failed:\n"
+                    f"{reply_meta.get('error', '')}"
+                )
+            raise ConnectionError(
+                f"unexpected reply opcode 0x{reply_op:02x}"
+            )
+
+    def _ensure_loaded(self, record: _RemoteHost, key: str, A: CSRMatrix) -> None:
+        if key in record.loaded:
+            return
+        meta, arrays = encode_csr(A)
+        meta["key"] = key
+        self._request(record, OP_LOAD, meta, arrays)
+        record.loaded.add(key)
+
+    def _run_group(
+        self,
+        record: _RemoteHost,
+        key: str,
+        A: CSRMatrix,
+        spec_meta: dict,
+        group: Sequence[ShardAssignment],
+        X: Optional[np.ndarray],
+        Y: Optional[np.ndarray],
+        Z: np.ndarray,
+    ) -> None:
+        """Execute one host's contiguous shard group, writing into ``Z``."""
+        parts = [
+            [int(p.start), int(p.stop), int(p.nnz)]
+            for a in group
+            for p in a.parts
+        ]
+        meta = {
+            "key": key,
+            "spec": spec_meta,
+            "parts": parts,
+            "y_same_as_x": bool(X is not None and Y is X),
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        if X is not None:
+            arrays["x"] = np.asarray(X)
+        if Y is not None and Y is not X:
+            arrays["y"] = np.asarray(Y)
+        with record.lock:
+            if not record.alive:
+                raise ConnectionError(f"host {record.name!r} already lost")
+            self._ensure_loaded(record, key, A)
+            reply_meta, reply_arrays = self._request(
+                record, OP_RUN, meta, arrays
+            )
+            if reply_meta.get("missing_key"):
+                # Evicted agent-side between our LOAD bookkeeping and the
+                # RUN (LRU pressure): re-ship once and retry.
+                record.loaded.discard(key)
+                self._ensure_loaded(record, key, A)
+                reply_meta, reply_arrays = self._request(
+                    record, OP_RUN, meta, arrays
+                )
+                if reply_meta.get("missing_key"):
+                    raise WorkerError(
+                        f"remote worker {record.name!r} cannot hold matrix "
+                        f"{key!r} (matrix_cache too small?)"
+                    )
+            record.runs += 1
+        w0, w1 = int(reply_meta["w0"]), int(reply_meta["w1"])
+        block = reply_arrays["z"]
+        if block.shape != (w1 - w0, Z.shape[1]):
+            raise WorkerError(
+                f"remote worker {record.name!r} returned a "
+                f"{block.shape} block for rows [{w0}, {w1})"
+            )
+        Z[w0:w1] = block
+
+    # ------------------------------------------------------------------ #
+    # Batch dispatch
+    # ------------------------------------------------------------------ #
+    def run_assignments(
+        self,
+        key: str,
+        A: CSRMatrix,
+        spec_meta: dict,
+        assignments: Sequence[ShardAssignment],
+        X: Optional[np.ndarray],
+        Y: Optional[np.ndarray],
+        Z: np.ndarray,
+    ) -> List[ShardAssignment]:
+        """Execute ``assignments`` across live hosts, writing into ``Z``.
+
+        Groups are routed by slot weight, dispatched concurrently (one
+        thread per host), and re-routed across survivors when a host is
+        lost mid-batch.  Returns the assignments that could **not** be
+        completed because no live host remained — the caller executes
+        those in-parent, so the batch always completes.
+        """
+        remaining = [a for a in assignments if a.parts]
+        if not remaining:
+            return []
+        self.batches += 1
+        first_round = True
+        while remaining:
+            hosts = self.live_hosts()
+            if not hosts:
+                self.parent_fallbacks += 1
+                return remaining
+            if not first_round:
+                self.retries += 1
+            first_round = False
+            plan = ShardPlan(
+                num_shards=len(remaining),
+                assignments=tuple(remaining),
+                total_nnz=sum(a.nnz for a in remaining),
+            )
+            groups = route_shards(plan, [h.slots for h in hosts])
+            failed: List[ShardAssignment] = []
+            failed_lock = threading.Lock()
+
+            def dispatch(record: _RemoteHost, group: List[ShardAssignment]):
+                try:
+                    self._run_group(record, key, A, spec_meta, group, X, Y, Z)
+                except (ConnectionError, OSError, socket.timeout) as exc:
+                    self._mark_lost(record, str(exc))
+                    with failed_lock:
+                        failed.extend(group)
+
+            busy = [
+                (record, group)
+                for record, group in zip(hosts, groups)
+                if group
+            ]
+            if len(busy) == 1:
+                dispatch(*busy[0])
+            elif busy:
+                with ThreadPoolExecutor(
+                    max_workers=len(busy),
+                    thread_name_prefix="repro-remote-dispatch",
+                ) as pool:
+                    for fut in [
+                        pool.submit(dispatch, record, group)
+                        for record, group in busy
+                    ]:
+                        fut.result()
+            remaining = failed
+        return []
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """Controller accounting for ``KernelRuntime.stats()`` and logs."""
+        hosts = self.live_hosts()
+        return {
+            "port": self.port,
+            "hosts": [
+                {
+                    "name": h.name,
+                    "slots": h.slots,
+                    "threads": h.threads,
+                    "runs": h.runs,
+                    "loaded_matrices": len(h.loaded),
+                }
+                for h in hosts
+            ],
+            "total_slots": sum(h.slots for h in hosts),
+            "hosts_admitted": self.hosts_admitted,
+            "hosts_lost": self.hosts_lost,
+            "batches": self.batches,
+            "retries": self.retries,
+            "parent_fallbacks": self.parent_fallbacks,
+        }
+
+    def close(self) -> None:
+        """Stop accepting, dismiss agents, close every connection."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for record in self.live_hosts():
+            with record.lock:
+                try:
+                    self._request(
+                        record, OP_EXIT, {}, None, reply_timeout=1.0
+                    )
+                except (
+                    WorkerError,
+                    ConnectionError,
+                    OSError,
+                    socket.timeout,
+                ):
+                    pass
+                record.close()
+        with self._hosts_lock:
+            self._hosts.clear()
+        self._accept_thread.join(timeout=1.0)
+        self._heartbeat_thread.join(timeout=self.heartbeat_s + 1.0)
+
+    def __enter__(self) -> "RemoteController":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RemoteController(port={self.port}, "
+            f"hosts={len(self.live_hosts())}, lost={self.hosts_lost})"
+        )

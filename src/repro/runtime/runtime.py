@@ -47,6 +47,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -57,6 +58,7 @@ from ..core.patterns import OpPattern, get_pattern
 from ..sparse import as_csr, validate_reorder
 from .batch import KernelRequest, pack_group_key, pack_requests
 from .cache import CacheStats, PlanCache
+from .codec import build_worker_config, remote_spec_meta
 from .fingerprint import derived_fingerprint, matrix_fingerprint
 from .plan import (
     KernelPlan,
@@ -66,7 +68,8 @@ from .plan import (
     make_config,
     pattern_key,
 )
-from .shard import ShardPlan, assign_shards
+from .remote import RemoteController
+from .shard import ShardPlan, assign_shards, route_shards
 from .workers import WorkerPool, plan_spec_from_plan
 
 __all__ = ["KernelRuntime", "EpochStream"]
@@ -164,6 +167,22 @@ class EpochStream:
         return info
 
 
+@dataclass
+class _ShardPrep:
+    """One prepared sharded dispatch (see ``KernelRuntime._prepare_sharded``)."""
+
+    workers: Optional[WorkerPool]
+    controller: Optional[RemoteController]
+    key: str
+    A: object
+    spec: Dict[str, object]
+    spec_meta: Optional[dict]
+    shard_plan: ShardPlan
+    rplan: Optional[KernelPlan]
+    local_slots: int
+    remote_slots: int
+
+
 class KernelRuntime:
     """Batched, plan-caching FusedMM execution engine.
 
@@ -199,6 +218,16 @@ class KernelRuntime:
         Passed through to :class:`~repro.runtime.workers.WorkerPool`
         (start method, per-call reply ceiling, bound on matrices kept
         registered in shared memory).
+    remote_port, remote_host:
+        Enable the distributed tier: listen on this address for
+        ``repro worker`` host registrations (``remote_port=0`` binds an
+        ephemeral port, readable as ``runtime.controller.port``).
+        Admitted hosts add shard capacity next to the local processes;
+        see :mod:`repro.runtime.remote`.
+    remote_heartbeat_s, remote_timeout:
+        Liveness cadence for idle hosts and the per-exchange reply
+        ceiling after which a host is declared lost and its shards are
+        retried on the survivors.
 
     Example
     -------
@@ -233,6 +262,10 @@ class KernelRuntime:
         worker_start_method: Optional[str] = None,
         worker_timeout: Optional[float] = None,
         worker_matrix_cache: int = 16,
+        remote_port: Optional[int] = None,
+        remote_host: str = "127.0.0.1",
+        remote_heartbeat_s: float = 2.0,
+        remote_timeout: float = 60.0,
     ) -> None:
         self.num_threads = num_threads or available_threads()
         self.autotune = autotune
@@ -252,8 +285,15 @@ class KernelRuntime:
         self.worker_start_method = worker_start_method
         self.worker_timeout = worker_timeout
         self.worker_matrix_cache = worker_matrix_cache
+        self.remote_port = remote_port
+        self.remote_host = remote_host
+        self.remote_heartbeat_s = remote_heartbeat_s
+        self.remote_timeout = remote_timeout
         self._workers: Optional[WorkerPool] = None
         self._workers_lock = threading.Lock()
+        self._controller: Optional[RemoteController] = None
+        self._controller_lock = threading.Lock()
+        self._remote_dispatcher: Optional[ThreadPoolExecutor] = None
         self._cache = PlanCache(cache_size)
         # Matrix-independent dispatch configs for one-shot batch requests
         # (unbounded is fine: one entry per pattern/backend/blocking tuple).
@@ -277,6 +317,8 @@ class KernelRuntime:
             "submitted": 0,
             "sharded_jobs": 0,
             "sharded_submitted": 0,
+            "remote_jobs": 0,
+            "remote_fallbacks": 0,
         }
         self._closed = False
 
@@ -312,9 +354,30 @@ class KernelRuntime:
                 )
             return self._workers
 
+    @property
+    def controller(self) -> Optional[RemoteController]:
+        """The distributed-tier controller (created lazily when
+        ``remote_port=`` is configured; ``None`` otherwise).
+
+        Creation opens the listening socket, so worker hosts started with
+        ``repro worker`` can register from then on; admitted hosts join
+        the local processes as shard-execution capacity.
+        """
+        if self.remote_port is None:
+            return None
+        with self._controller_lock:
+            if self._controller is None and not self._closed:
+                self._controller = RemoteController(
+                    host=self.remote_host,
+                    port=self.remote_port,
+                    heartbeat_s=self.remote_heartbeat_s,
+                    timeout=self.remote_timeout,
+                )
+            return self._controller
+
     def close(self) -> None:
-        """Shut down the shared pool and the worker processes; the runtime
-        stays usable sequentially (in-process)."""
+        """Shut down the shared pool, the worker processes and the remote
+        controller; the runtime stays usable sequentially (in-process)."""
         with self._pool_lock:
             self._closed = True
             if self._pool is not None:
@@ -324,6 +387,13 @@ class KernelRuntime:
             if self._workers is not None:
                 self._workers.close()
                 self._workers = None
+        with self._controller_lock:
+            if self._controller is not None:
+                self._controller.close()
+                self._controller = None
+            if self._remote_dispatcher is not None:
+                self._remote_dispatcher.shutdown(wait=True)
+                self._remote_dispatcher = None
 
     def __enter__(self) -> "KernelRuntime":
         return self
@@ -341,6 +411,12 @@ class KernelRuntime:
         if workers is not None:
             try:
                 workers.close()
+            except Exception:
+                pass
+        controller = getattr(self, "_controller", None)
+        if controller is not None:
+            try:
+                controller.close()
             except Exception:
                 pass
 
@@ -445,12 +521,26 @@ class KernelRuntime:
         return plan.execute(A, X, Y, num_threads=1)
 
     # ------------------------------------------------------------------ #
-    # Sharded (multi-process) execution
+    # Sharded (multi-process / multi-host) execution
     # ------------------------------------------------------------------ #
+    def _remote_capacity(self) -> int:
+        """Live remote slot count (0 without a controller or hosts)."""
+        controller = self.controller
+        return 0 if controller is None else controller.total_slots()
+
+    @property
+    def sharded_capacity(self) -> int:
+        """Total sharded-tier slots: local worker processes plus the slots
+        of currently registered remote hosts.  Zero means :meth:`run_sharded`
+        and :meth:`submit_sharded` will fall back to in-process execution.
+        Side-effect free: does not lazily spawn the worker pool."""
+        return max(0, self.processes) + self._remote_capacity()
+
     def _sharding_eligible(self, plan: KernelPlan, A) -> bool:
-        """Whether a *streaming* call may route through the worker pool."""
+        """Whether a *streaming* call may route through the sharded tier
+        (the local worker pool and/or registered remote hosts)."""
         return (
-            self.processes > 0
+            (self.processes > 0 or self._remote_capacity() > 0)
             and plan.supports_parts
             and A.nnz >= self.shard_min_nnz
         )
@@ -472,15 +562,20 @@ class KernelRuntime:
         *,
         shards: Optional[int] = None,
         parts=None,
-    ):
+    ) -> Optional["_ShardPrep"]:
         """Everything a sharded dispatch needs, or ``None`` when the tier
-        cannot take the job (no pool, unpicklable pattern) and the caller
-        must fall back to the in-process path.
+        cannot take the job (no capacity, unpicklable pattern) and the
+        caller must fall back to the in-process path.
 
         Shared by the sync and async entry points so their scheduling can
         never drift apart.  Operands are *not* copied here — the pool
         detects ``Y is X`` aliasing on the original objects and copies
         exactly once into shared memory.
+
+        Capacity is the local worker-process count plus the slot count of
+        live remote hosts; shard counts clamp to it.  Patterns that cannot
+        cross the network (non-string operator slots) keep remote capacity
+        out of the count, so they still shard locally.
 
         For a reordered plan the tier ships the *permuted* matrix (under a
         strategy-derived key) and builds the shards from the permuted
@@ -488,11 +583,22 @@ class KernelRuntime:
         shard skew drops.  The caller permutes the operands and maps the
         gathered output back via the returned plan handle.
         """
-        workers = self.workers
-        if workers is None or not plan.supports_parts:
+        if not plan.supports_parts:
             return None
         spec = plan_spec_from_plan(plan)
         if spec is None:
+            return None
+        workers = self.workers
+        controller = self.controller
+        spec_meta = None
+        remote_slots = 0
+        if controller is not None:
+            spec_meta = remote_spec_meta(spec)
+            if spec_meta is not None:
+                remote_slots = controller.total_slots()
+        local_slots = workers.processes if workers is not None else 0
+        capacity = local_slots + remote_slots
+        if capacity == 0:
             return None
         A = as_csr(A)
         reordered = (
@@ -510,9 +616,111 @@ class KernelRuntime:
             key = plan.key.fingerprint if parts is None else matrix_fingerprint(A)
         partitions = plan.partitions if parts is None else parts
         nshards = self.shards if shards is None else int(shards)
-        nshards = max(1, min(nshards, workers.processes))
+        if nshards <= 0:
+            nshards = capacity
+        nshards = max(1, min(nshards, capacity))
         shard_plan = assign_shards(partitions, nshards)
-        return workers, key, A, spec, shard_plan, (plan if reordered else None)
+        return _ShardPrep(
+            workers=workers,
+            controller=controller if remote_slots > 0 else None,
+            key=key,
+            A=A,
+            spec=spec,
+            spec_meta=spec_meta,
+            shard_plan=shard_plan,
+            rplan=plan if reordered else None,
+            local_slots=local_slots,
+            remote_slots=remote_slots,
+        )
+
+    def _run_prepared(self, prep: "_ShardPrep", X, Y, *, keep: bool) -> np.ndarray:
+        """Execute a prepared shard dispatch (local pool, remote hosts, or
+        a hybrid of both), without the reorder pre/post mapping."""
+        if prep.controller is None:
+            return prep.workers.run_sharded(
+                prep.key, prep.A, prep.spec, prep.shard_plan, X, Y, keep=keep
+            )
+        return self._run_hybrid(prep, X, Y, keep=keep)
+
+    def _run_hybrid(self, prep: "_ShardPrep", X, Y, *, keep: bool) -> np.ndarray:
+        """Split one shard plan between the local pool and remote hosts.
+
+        Contiguous shard groups are routed by slot weight; the local group
+        runs on the worker pool concurrently with the remote dispatch.
+        Assignments no surviving host could execute come back from the
+        controller and run in-parent through the *same* rebuilt worker
+        config, so results stay bitwise identical to a purely local
+        sharded call and the batch always completes.
+        """
+        A = prep.A
+        d = X.shape[1] if X is not None else Y.shape[1]
+        if X is not None:
+            out_dtype = X.dtype
+        elif np.issubdtype(Y.dtype, np.floating):
+            out_dtype = Y.dtype
+        else:  # pragma: no cover - integer Y normalised by kernels
+            out_dtype = np.dtype(np.float32)
+        Z = np.zeros((A.nrows, d), dtype=out_dtype)
+        local_group, remote_group = route_shards(
+            prep.shard_plan, [prep.local_slots, prep.remote_slots]
+        )
+        local_future: Optional["Future[np.ndarray]"] = None
+        if local_group and prep.workers is not None:
+            local_parts = [p for a in local_group for p in a.parts]
+            local_plan = assign_shards(
+                local_parts, min(len(local_group), prep.workers.processes)
+            )
+            local_future = prep.workers.submit_sharded(
+                prep.key, A, prep.spec, local_plan, X, Y, keep=keep
+            )
+        try:
+            if remote_group:
+                self._bump("remote_jobs")
+                leftovers = prep.controller.run_assignments(
+                    prep.key, A, prep.spec_meta, remote_group, X, Y, Z
+                )
+                if leftovers:
+                    # Every remote host is gone: finish the lost row
+                    # ranges in-parent through the same rebuilt config
+                    # the workers use — complete, correct, never hung.
+                    self._bump("remote_fallbacks")
+                    self._execute_assignments_inline(
+                        prep.spec, A, X, Y, Z, leftovers
+                    )
+        finally:
+            if local_future is not None:
+                Z_local = local_future.result()
+                lo = min(p.start for a in local_group for p in a.parts)
+                hi = max(p.stop for a in local_group for p in a.parts)
+                Z[lo:hi] = Z_local[lo:hi]
+        return Z
+
+    @staticmethod
+    def _execute_assignments_inline(spec, A, X, Y, Z, assignments) -> None:
+        """Run shard assignments in-parent, writing into ``Z``.
+
+        Executes through :func:`build_worker_config` — the exact config a
+        worker would rebuild — so fallback rows are byte-for-byte what the
+        lost host would have produced.
+        """
+        cfg = build_worker_config(spec)
+        for a in assignments:
+            if not a.parts:
+                continue
+            parts = list(a.parts)
+            w0 = min(p.start for p in parts)
+            w1 = max(p.stop for p in parts)
+            cfg.execute(
+                A,
+                X,
+                Y,
+                parts=parts,
+                num_threads=1,
+                block_size=spec["block_size"],
+                strategy=spec["strategy"],
+                out=Z[w0:w1],
+                row_offset=w0,
+            )
 
     def _execute_plan_sharded(
         self,
@@ -525,23 +733,23 @@ class KernelRuntime:
         parts=None,
         keep: bool = True,
     ) -> Optional[np.ndarray]:
-        """Fan a plan's partitions out over the worker processes.
+        """Fan a plan's partitions out over worker processes and hosts.
 
         Returns ``None`` when the sharded tier cannot take the job so
         callers fall back to the in-process path.  The partitions — the
         plan's own, or the ``parts`` computed for a derived matrix — are
         grouped by :func:`assign_shards`; results are bitwise identical to
         the in-process execution because both run the same partitions with
-        the same resolved kernel.
+        the same resolved kernel, wherever each shard lands.
         """
         prep = self._prepare_sharded(plan, A, shards=shards, parts=parts)
         if prep is None:
             return None
-        workers, key, A, spec, shard_plan, rplan = prep
+        rplan = prep.rplan
         if rplan is not None:
             X, Y = rplan.permute_operands(X, Y)
         self._bump("sharded_jobs")
-        Z = workers.run_sharded(key, A, spec, shard_plan, X, Y, keep=keep)
+        Z = self._run_prepared(prep, X, Y, keep=keep)
         if rplan is not None:
             Z = Z[rplan.inv_perm]
         return Z
@@ -594,11 +802,26 @@ class KernelRuntime:
             except BaseException as exc:  # pragma: no cover - propagated
                 fut.set_exception(exc)
             return fut
-        workers, key, A, spec, shard_plan, rplan = prep
+        rplan = prep.rplan
         if rplan is not None:
             X, Y = rplan.permute_operands(X, Y)
         self._bump("sharded_jobs")
-        raw = workers.submit_sharded(key, A, spec, shard_plan, X, Y, keep=True)
+        if prep.controller is not None:
+            # Hybrid dispatches coordinate local and remote legs, so they
+            # run on their own background thread instead of the pool's
+            # single dispatcher.
+            with self._pool_lock:
+                if self._remote_dispatcher is None:
+                    self._remote_dispatcher = ThreadPoolExecutor(
+                        max_workers=1,
+                        thread_name_prefix="repro-remote-submit",
+                    )
+                dispatcher = self._remote_dispatcher
+            raw = dispatcher.submit(self._run_hybrid, prep, X, Y, keep=True)
+        else:
+            raw = prep.workers.submit_sharded(
+                prep.key, prep.A, prep.spec, prep.shard_plan, X, Y, keep=True
+            )
         if rplan is None:
             return raw
         # Map the gathered permuted output back to original vertex order
@@ -869,6 +1092,8 @@ class KernelRuntime:
             sections = dict(self._stats_sections)
         with self._workers_lock:
             workers = self._workers
+        with self._controller_lock:
+            controller = self._controller
         extra = {name: provider() for name, provider in sections.items()}
         return {
             "plan_cache": self.cache_stats().as_dict(),
@@ -878,6 +1103,7 @@ class KernelRuntime:
             "shards": self.shards,
             "reorder": self.reorder,
             "workers": None if workers is None else workers.stats(),
+            "remote": None if controller is None else controller.stats(),
             **counters,
             **extra,
         }

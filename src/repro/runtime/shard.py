@@ -37,7 +37,7 @@ import numpy as np
 from ..core.partition import RowPartition
 from ..errors import PartitionError
 
-__all__ = ["ShardAssignment", "ShardPlan", "assign_shards"]
+__all__ = ["ShardAssignment", "ShardPlan", "assign_shards", "route_shards"]
 
 
 @dataclass(frozen=True)
@@ -161,3 +161,57 @@ def assign_shards(
         assignments=tuple(assignments),
         total_nnz=total_nnz,
     )
+
+
+def route_shards(
+    shard_plan: ShardPlan, weights: Sequence[int]
+) -> List[List[ShardAssignment]]:
+    """Route a plan's shards to owners (hosts/pools) by capacity weight.
+
+    ``weights[i]`` is owner ``i``'s slot count; owner ``i`` receives a
+    *contiguous* group of shard assignments sized so that each group's nnz
+    tracks its owner's share of the total capacity (cumulative-nnz targets
+    snapped to shard edges — the same discipline :func:`assign_shards`
+    applies one level down).  Contiguity means each owner covers one
+    contiguous row range of the output, so a lost owner's work can be
+    re-routed (or recomputed) as a single block.
+
+    Zero-weight owners receive empty groups.  The routing never splits or
+    reorders a shard, so executing the routed groups is executing the
+    original plan — determinism is untouched.
+    """
+    if not weights or all(w <= 0 for w in weights):
+        raise PartitionError("route_shards needs at least one positive weight")
+    busy = [a for a in shard_plan.assignments if a.parts]
+    total_nnz = sum(a.nnz for a in busy)
+    total_weight = sum(max(int(w), 0) for w in weights)
+
+    groups: List[List[ShardAssignment]] = []
+    cursor = 0
+    consumed = 0.0
+    target = 0.0
+    for w in weights:
+        share = max(int(w), 0) / total_weight
+        target += share * total_nnz
+        group: List[ShardAssignment] = []
+        # Greedily take shards while this owner is still under target;
+        # always take at least one when work and weight remain, so no
+        # trailing owner is starved by rounding.
+        while cursor < len(busy) and (
+            consumed + busy[cursor].nnz <= target
+            or (not group and share > 0)
+        ):
+            if not group and share == 0:
+                break
+            group.append(busy[cursor])
+            consumed += busy[cursor].nnz
+            cursor += 1
+            if consumed >= target:
+                break
+        groups.append(group)
+    # Rounding may leave trailing shards; the last positive-weight owner
+    # absorbs them (keeps its group contiguous).
+    if cursor < len(busy):
+        last = max(i for i, w in enumerate(weights) if w > 0)
+        groups[last].extend(busy[cursor:])
+    return groups

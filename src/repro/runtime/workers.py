@@ -46,7 +46,6 @@ with replies ``("ok", payload)`` or ``("err", traceback_text)``.
 from __future__ import annotations
 
 import multiprocessing
-import pickle
 import threading
 import traceback
 from collections import OrderedDict
@@ -59,6 +58,7 @@ import numpy as np
 from ..core.partition import RowPartition
 from ..errors import WorkerCrashError, WorkerError
 from ..sparse import CSRMatrix
+from .codec import build_worker_config, config_cache_key, plan_spec_from_plan
 from .shard import ShardPlan
 
 __all__ = ["WorkerPool", "default_start_method", "plan_spec_from_plan"]
@@ -72,29 +72,6 @@ def default_start_method() -> str:
     ``spawn`` otherwise."""
     methods = multiprocessing.get_all_start_methods()
     return "fork" if "fork" in methods else "spawn"
-
-
-def plan_spec_from_plan(plan) -> Optional[Dict[str, object]]:
-    """The picklable execution spec of a :class:`~repro.runtime.plan.KernelPlan`.
-
-    Workers rebuild the dispatch config from this spec; the parent resolves
-    everything data-dependent (autotuned block size, the row/edge strategy
-    choice) *before* shipping, so every worker executes exactly the kernel a
-    single-process call would.  Returns ``None`` when the pattern cannot be
-    pickled (user-supplied lambda operators) — callers fall back to
-    in-process execution.
-    """
-    spec = {
-        "op_pattern": plan.op_pattern,
-        "backend": plan.backend,
-        "block_size": plan.block_size,
-        "strategy": plan.strategy,
-    }
-    try:
-        pickle.dumps(spec["op_pattern"])
-    except Exception:
-        return None
-    return spec
 
 
 # ---------------------------------------------------------------------- #
@@ -184,21 +161,6 @@ class _SharedCSR:
 # ---------------------------------------------------------------------- #
 # Worker process
 # ---------------------------------------------------------------------- #
-def _worker_build_config(spec: Dict[str, object]):
-    """Rebuild the dispatch config a run spec describes (worker side)."""
-    from .plan import make_config
-
-    op_pattern = spec["op_pattern"]
-    return make_config(
-        op_pattern,
-        op_pattern.resolved(),
-        backend=spec["backend"],
-        block_size=spec["block_size"],
-        strategy=spec["strategy"],
-        num_threads=1,
-    )
-
-
 def _worker_main(conn) -> None:  # pragma: no cover - runs in child processes
     """Worker loop: attach matrices, cache configs, execute shards."""
     # Warm the JIT kernel cache once at spawn (no-op without numba): the
@@ -251,17 +213,10 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in child processes
             elif cmd == "run":
                 _, key, spec, x_meta, y_meta, z_meta, raw_parts = msg
                 A, _segs = matrices[key]
-                from .plan import pattern_key
-
-                cfg_key = (
-                    pattern_key(spec["op_pattern"].resolved()),
-                    spec["backend"],
-                    spec["block_size"],
-                    spec["strategy"],
-                )
+                cfg_key = config_cache_key(spec)
                 cfg = configs.get(cfg_key)
                 if cfg is None:
-                    cfg = _worker_build_config(spec)
+                    cfg = build_worker_config(spec)
                     configs[cfg_key] = cfg
                 ephemeral: List[shared_memory.SharedMemory] = []
                 try:

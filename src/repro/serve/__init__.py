@@ -18,6 +18,9 @@ service (the ROADMAP's "async serving beyond futures" tier):
                ``/healthz``, ``/statz``) with JSON and binary npy payloads
 ``client``     :class:`ServeClient` — stdlib blocking client (benchmarks,
                smoke tests)
+``connect``    :func:`connect` — URL-schemed factory (``http://`` /
+               ``wire://``) returning the transport-independent
+               :class:`Client` protocol
 ``wire``       :class:`WireServer` / :class:`WireClient` — length-prefixed
                binary framing over raw sockets with pipelining and
                credit-based flow control; shares the coalescer/registry
@@ -41,6 +44,7 @@ Example
 from .client import ServeClient, ServeHTTPError, wait_until_healthy
 from .coalescer import Coalescer, CoalescerStats
 from .config import DEFAULT_MODELS, ModelSpec, ServeConfig
+from .connect import Client, connect
 from .protocol import (
     HTTPRequest,
     ProtocolError,
@@ -68,6 +72,8 @@ __all__ = [
     "BackgroundServer",
     "ServeClient",
     "ServeHTTPError",
+    "Client",
+    "connect",
     "wait_until_healthy",
     "HTTPRequest",
     "ProtocolError",

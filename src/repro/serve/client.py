@@ -17,21 +17,61 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..errors import DeadlineError, DrainingError, QueueFullError, ServeError
 from .protocol import array_from_npy, encode_array, npy_bytes
 
-__all__ = ["ServeClient", "ServeHTTPError", "wait_until_healthy"]
+__all__ = [
+    "ServeClient",
+    "ServeHTTPError",
+    "http_error_for_status",
+    "wait_until_healthy",
+]
 
 _JSON = "application/json"
 _NPY = "application/x-npy"
 
 
-class ServeHTTPError(RuntimeError):
-    """A non-2xx response; carries the status and decoded error message."""
+class ServeHTTPError(ServeError):
+    """A non-2xx response; carries the status and decoded error message.
+
+    A :class:`~repro.errors.ServeError`, so both transports raise out of
+    one hierarchy: ``except ServeError`` catches HTTP and wire failures
+    alike, while ``.status`` keeps the transport-level detail.
+    """
 
     def __init__(self, status: int, message: str) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.http_status = status
+
+
+# Admission-control statuses raise the same typed errors over HTTP that the
+# wire client reconstructs from error frames — catchable either way: as the
+# transport's ServeHTTPError or as the typed QueueFullError/DeadlineError/
+# DrainingError the server actually raised.
+class QueueFullHTTPError(ServeHTTPError, QueueFullError):
+    pass
+
+
+class DrainingHTTPError(ServeHTTPError, DrainingError):
+    pass
+
+
+class DeadlineHTTPError(ServeHTTPError, DeadlineError):
+    pass
+
+
+_TYPED_HTTP_ERRORS = {
+    429: QueueFullHTTPError,
+    503: DrainingHTTPError,
+    504: DeadlineHTTPError,
+}
+
+
+def http_error_for_status(status: int, message: str) -> ServeHTTPError:
+    """The typed exception for one non-2xx HTTP response."""
+    return _TYPED_HTTP_ERRORS.get(status, ServeHTTPError)(status, message)
 
 
 class ServeClient:
@@ -95,7 +135,7 @@ class ServeClient:
                 )
             except Exception:
                 message = payload.decode("utf-8", "replace")
-            raise ServeHTTPError(response.status, str(message))
+            raise http_error_for_status(response.status, str(message))
         return response, payload
 
     # ------------------------------------------------------------------ #
@@ -116,6 +156,8 @@ class ServeClient:
         graph=None,
         X: Optional[np.ndarray] = None,
         Y: Optional[np.ndarray] = None,
+        x: Optional[np.ndarray] = None,
+        y: Optional[np.ndarray] = None,
         pattern: str = "sigmoid_embedding",
         backend: str = "auto",
         deadline_ms: Optional[float] = None,
@@ -125,8 +167,15 @@ class ServeClient:
 
         ``binary=True`` ships operands base64-npy inside the JSON envelope
         and asks for a raw ``.npy`` response (bitwise-faithful round
-        trip); ``binary=False`` uses nested-list JSON end to end.
+        trip); ``binary=False`` uses nested-list JSON end to end.  The
+        operands accept both spellings (``X=``/``x=``, ``Y=``/``y=``) so
+        call sites are portable across this client and
+        :class:`~repro.serve.wire.WireClient`.
         """
+        if X is None:
+            X = x
+        if Y is None:
+            Y = y
         payload: Dict[str, object] = {"pattern": pattern, "backend": backend}
         if model is not None:
             payload["model"] = model

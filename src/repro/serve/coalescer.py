@@ -322,7 +322,10 @@ class Coalescer:
                 reorder="none",
                 **dict(request.overrides),
             )
-            if self.runtime.workers is not None:
+            if self.runtime.sharded_capacity > 0:
+                # Local worker processes and/or registered remote hosts:
+                # submit_sharded routes across whichever are live (and
+                # itself falls back in-process if capacity vanished).
                 result = await wrap_runtime_future(
                     self.runtime.submit_sharded(request.A, request.X, request.Y, **opts)
                 )

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 from ..errors import BackendError, ShapeError
-from ..sparse import validate_reorder
+from ..runtime import RuntimeOptions
 
 __all__ = [
     "ModelSpec",
@@ -109,6 +109,7 @@ class ModelSpec:
             seed=self.seed,
             num_threads=config.num_threads,
             processes=config.processes,
+            shard_min_nnz=config.shard_min_nnz,
             kernel_backend=config.kernel_backend,
             reorder=config.reorder,
         )
@@ -152,7 +153,7 @@ DEFAULT_MODELS: Tuple[ModelSpec, ...] = (
 
 
 @dataclass
-class ServeConfig:
+class ServeConfig(RuntimeOptions):
     """Everything the serving subsystem needs to come up.
 
     Coalescing
@@ -182,12 +183,16 @@ class ServeConfig:
     Runtime
     -------
     ``num_threads`` / ``processes`` / ``shard_min_nnz`` / ``kernel_backend``
-    / ``reorder`` configure the :class:`~repro.runtime.KernelRuntime` the
-    coalescer dispatches into; single jobs at or above ``shard_min_nnz``
-    route through ``submit_sharded`` instead of a window.  ``reorder``
-    applies to *model training* plans only: the request path always plans
-    with ``reorder="none"`` so coalesced responses stay bitwise identical
-    to serial execution.
+    / ``reorder`` (inherited from :class:`~repro.runtime.RuntimeOptions`,
+    the same knob surface the app configs use) configure the
+    :class:`~repro.runtime.KernelRuntime` the coalescer dispatches into;
+    single jobs at or above ``shard_min_nnz`` route through
+    ``submit_sharded`` instead of a window.  ``reorder`` applies to *model
+    training* plans only: the request path always plans with
+    ``reorder="none"`` so coalesced responses stay bitwise identical to
+    serial execution.  ``remote_port`` additionally opens the distributed
+    controller: ``repro worker`` hosts that register there are admitted
+    into the sharded tier next to the local worker processes.
     """
 
     host: str = "127.0.0.1"
@@ -210,17 +215,16 @@ class ServeConfig:
     dispatch_workers: int = 2
     #: reject request bodies larger than this many bytes (413)
     max_body_bytes: int = 64 * 1024 * 1024
-    num_threads: int = 1
-    processes: int = 0
-    shard_min_nnz: int = 16384
-    kernel_backend: str = "auto"
-    reorder: str = "none"
+    #: distributed-controller listener for ``repro worker`` hosts
+    #: (``None`` = local-only; 0 = ephemeral port)
+    remote_port: Optional[int] = None
     plan_cache_size: int = 128
     models: Tuple[ModelSpec, ...] = field(default_factory=lambda: DEFAULT_MODELS)
     #: patterns pre-planned against every registered graph at startup
     warm_patterns: Tuple[str, ...] = ("sigmoid_embedding", "gcn", "spmm")
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         if self.max_batch < 1:
             raise ShapeError(f"max_batch must be >= 1, got {self.max_batch}")
         if (
@@ -245,7 +249,8 @@ class ServeConfig:
             )
         if self.wire_port is not None and self.wire_port < 0:
             raise ShapeError(f"wire_port must be >= 0, got {self.wire_port}")
-        validate_reorder(self.reorder)
+        if self.remote_port is not None and self.remote_port < 0:
+            raise ShapeError(f"remote_port must be >= 0, got {self.remote_port}")
         names = [m.name for m in self.models]
         if len(set(names)) != len(names):
             raise ShapeError(f"duplicate model names in ServeConfig: {names}")
@@ -269,5 +274,6 @@ class ServeConfig:
             "processes": self.processes,
             "shard_min_nnz": self.shard_min_nnz,
             "kernel_backend": self.kernel_backend,
+            "remote_port": self.remote_port,
             "models": [m.name for m in self.models],
         }

@@ -1,0 +1,104 @@
+"""One entry point for both serving transports.
+
+The serving subsystem speaks two protocols — HTTP/1.1
+(:class:`~repro.serve.client.ServeClient`) and the length-prefixed binary
+wire protocol (:class:`~repro.serve.wire.WireClient`).  Both expose the
+same blocking surface (``kernel`` / ``embed`` / ``statz`` / ``close``,
+context-manager support) and raise out of the same
+:class:`~repro.errors.ServeError` hierarchy, so code that talks to a
+server should not care which transport carries the bytes.
+
+:func:`connect` makes that choice a URL::
+
+    from repro.serve import connect
+
+    with connect("http://127.0.0.1:8571") as client:
+        Z = client.kernel(model="cora-f2v", x=X)
+
+    with connect("wire://127.0.0.1:8572") as client:   # same calls
+        Z = client.kernel(model="cora-f2v", x=X)
+
+:class:`Client` is the structural type of what ``connect`` returns — a
+:class:`typing.Protocol`, so the concrete clients satisfy it without
+inheriting anything, and user-written fakes do too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, runtime_checkable
+from urllib.parse import urlsplit
+
+import numpy as np
+
+__all__ = ["Client", "connect", "DEFAULT_HTTP_PORT", "CLIENT_SCHEMES"]
+
+#: Default port of the HTTP front-end (mirrors ``ServeConfig.port``).
+DEFAULT_HTTP_PORT = 8571
+
+#: URL schemes ``connect`` understands, mapped to the transport they pick.
+CLIENT_SCHEMES = ("http", "wire")
+
+
+@runtime_checkable
+class Client(Protocol):
+    """The transport-independent client surface.
+
+    Both :class:`~repro.serve.client.ServeClient` and
+    :class:`~repro.serve.wire.WireClient` satisfy this protocol; failures
+    raise :class:`~repro.errors.ServeError` subclasses on either
+    transport.
+    """
+
+    def kernel(self, **kwargs) -> np.ndarray:
+        """``Z = FusedMM(A, X, Y)`` against a registered model or an
+        inline graph; operands accept both ``x=``/``X=`` spellings."""
+        ...
+
+    def embed(self, model: str, ids=None) -> np.ndarray:
+        """Rows of a registered model's servable output matrix."""
+        ...
+
+    def statz(self) -> Dict[str, object]:
+        """The server's stats snapshot."""
+        ...
+
+    def close(self) -> None:
+        """Release the underlying connection."""
+        ...
+
+    def __enter__(self) -> "Client": ...
+
+    def __exit__(self, *exc_info) -> None: ...
+
+
+def connect(url: str, *, timeout: float = 30.0) -> Client:
+    """Open a client for ``url``, choosing the transport by scheme.
+
+    ``http://host:port`` returns a
+    :class:`~repro.serve.client.ServeClient` (port defaults to
+    :data:`DEFAULT_HTTP_PORT`); ``wire://host:port`` returns a
+    :class:`~repro.serve.wire.WireClient` (port required — the wire
+    listener is configured per deployment via ``ServeConfig.wire_port``).
+    Raises :class:`ValueError` for unknown schemes or a missing wire
+    port.
+    """
+    parsed = urlsplit(url)
+    if parsed.scheme not in CLIENT_SCHEMES:
+        raise ValueError(
+            f"unsupported client URL scheme {parsed.scheme!r} in {url!r}; "
+            f"expected one of {CLIENT_SCHEMES}"
+        )
+    host = parsed.hostname or "127.0.0.1"
+    port: Optional[int] = parsed.port
+    if parsed.scheme == "http":
+        from .client import ServeClient
+
+        return ServeClient(host, port or DEFAULT_HTTP_PORT, timeout=timeout)
+    if port is None:
+        raise ValueError(
+            f"wire:// URLs must carry an explicit port (got {url!r}); the "
+            "wire listener has no fixed default — see ServeConfig.wire_port"
+        )
+    from .wire import WireClient
+
+    return WireClient(host, port, timeout=timeout)

@@ -24,13 +24,14 @@ from __future__ import annotations
 
 import asyncio
 import base64
-import io
 import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 from urllib.parse import parse_qsl, urlsplit
 
 import numpy as np
+
+from ..framing import ProtocolError, array_from_npy, npy_bytes
 
 __all__ = [
     "HTTPRequest",
@@ -57,14 +58,6 @@ STATUS_REASONS = {
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
-
-
-class ProtocolError(ValueError):
-    """Malformed HTTP from the client; carries the status to answer with."""
-
-    def __init__(self, message: str, status: int = 400) -> None:
-        super().__init__(message)
-        self.status = status
 
 
 @dataclass
@@ -189,19 +182,9 @@ def write_http_response(
 # ---------------------------------------------------------------------- #
 # Array payload codecs
 # ---------------------------------------------------------------------- #
-def npy_bytes(array: np.ndarray) -> bytes:
-    """``array`` serialised in NumPy ``.npy`` format."""
-    buf = io.BytesIO()
-    np.save(buf, np.ascontiguousarray(array), allow_pickle=False)
-    return buf.getvalue()
-
-
-def array_from_npy(blob: bytes) -> np.ndarray:
-    """Parse a ``.npy`` body (no pickles accepted)."""
-    try:
-        return np.load(io.BytesIO(blob), allow_pickle=False)
-    except Exception as exc:
-        raise ProtocolError(f"invalid npy payload: {exc}") from exc
+# ``ProtocolError``, ``npy_bytes`` and ``array_from_npy`` moved to
+# :mod:`repro.framing` (shared with the binary wire protocol and the
+# distributed worker transport); re-exported here for compatibility.
 
 
 def encode_array(array: np.ndarray, *, binary: bool = False):

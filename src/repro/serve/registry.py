@@ -73,6 +73,7 @@ class ModelRegistry:
             cache_size=self.config.plan_cache_size,
             processes=self.config.processes,
             shard_min_nnz=self.config.shard_min_nnz,
+            remote_port=self.config.remote_port,
             # Request plans stay bitwise-exact; the reorder knob only
             # reaches model *training* via ModelSpec.build.
             reorder="none",

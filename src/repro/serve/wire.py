@@ -42,31 +42,34 @@ Connection protocol:
 from __future__ import annotations
 
 import asyncio
-import json
 import socket
-import struct
 import time
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..errors import (
-    DatasetError,
-    ReproError,
-    ServeError,
-    serve_error_for_status,
+from ..errors import DatasetError, ReproError, ServeError
+from ..framing import (
+    FRAME_HEADER,
+    FrameCodec,
+    ProtocolError,
+    decode_payload,
+    encode_payload,
+    error_from_meta,
+    error_payload as _error_payload,
 )
 from ..runtime import KernelRequest
 from ..sparse import CSRMatrix
 from .config import resolve_deadline_ms
-from .protocol import ProtocolError, array_from_npy, npy_bytes
 
 __all__ = [
     "WIRE_MAGIC",
     "WIRE_VERSION",
+    "WIRE_CODEC",
     "OP_HELLO",
     "OP_KERNEL",
     "OP_EMBED",
+    "OP_STATZ",
     "OP_RESULT",
     "OP_ERROR",
     "FRAME_HEADER",
@@ -84,128 +87,37 @@ WIRE_VERSION = 1
 OP_HELLO = 0x01
 OP_KERNEL = 0x10
 OP_EMBED = 0x11
+OP_STATZ = 0x12
 OP_RESULT = 0x20
 OP_ERROR = 0x21
 
-_REQUEST_OPS = (OP_KERNEL, OP_EMBED)
+_REQUEST_OPS = (OP_KERNEL, OP_EMBED, OP_STATZ)
 
-#: magic(2s) | version(B) | opcode(B) | request_id(Q) | payload length(I)
-FRAME_HEADER = struct.Struct("!2sBBQI")
-_U32 = struct.Struct("!I")
+#: The frame codec of this protocol.  Mechanics (header layout, payload
+#: container, blocking/async readers) live in :mod:`repro.framing` and are
+#: shared with the distributed worker transport; only the magic/version
+#: stamp differs.
+WIRE_CODEC = FrameCodec(WIRE_MAGIC, WIRE_VERSION)
 
 
 # ---------------------------------------------------------------------- #
-# Frame + payload codecs (shared by server and client)
+# Frame codec (module-level aliases kept for compatibility)
 # ---------------------------------------------------------------------- #
 def pack_frame(opcode: int, request_id: int, payload: bytes) -> bytes:
     """One serialised frame: fixed header + payload."""
-    return (
-        FRAME_HEADER.pack(
-            WIRE_MAGIC, WIRE_VERSION, opcode, request_id, len(payload)
-        )
-        + payload
-    )
+    return WIRE_CODEC.pack_frame(opcode, request_id, payload)
 
 
 def unpack_header(blob: bytes) -> Tuple[int, int, int]:
-    """Parse a header → ``(opcode, request_id, payload_length)``.
-
-    Raises :class:`ProtocolError` on bad magic or version — the caller
-    cannot trust anything after a framing failure, so it must close.
-    """
-    magic, version, opcode, request_id, length = FRAME_HEADER.unpack(blob)
-    if magic != WIRE_MAGIC:
-        raise ProtocolError(f"bad frame magic {magic!r}")
-    if version != WIRE_VERSION:
-        raise ProtocolError(
-            f"unsupported wire version {version} (speaking {WIRE_VERSION})"
-        )
-    return opcode, request_id, length
-
-
-def encode_payload(
-    meta: dict, arrays: Optional[Dict[str, np.ndarray]] = None
-) -> bytes:
-    """Serialise one payload container (meta JSON + named npy blobs)."""
-    arrays = arrays or {}
-    meta = dict(meta)
-    meta["arrays"] = list(arrays)
-    meta_blob = json.dumps(meta).encode("utf-8")
-    parts = [_U32.pack(len(meta_blob)), meta_blob]
-    for name in arrays:
-        blob = npy_bytes(arrays[name])
-        parts.append(_U32.pack(len(blob)))
-        parts.append(blob)
-    return b"".join(parts)
-
-
-def decode_payload(blob: bytes) -> Tuple[dict, Dict[str, np.ndarray]]:
-    """Parse one payload container → ``(meta, {name: array})``.
-
-    Strict: truncated length prefixes, blobs running past the payload or
-    trailing garbage are all :class:`ProtocolError` — a framing bug must
-    not silently decode to a partial request.
-    """
-
-    def take(n: int, what: str) -> bytes:
-        nonlocal offset
-        if offset + n > len(blob):
-            raise ProtocolError(f"truncated payload while reading {what}")
-        piece = blob[offset : offset + n]
-        offset += n
-        return piece
-
-    offset = 0
-    (meta_len,) = _U32.unpack(take(4, "meta length"))
-    try:
-        meta = json.loads(take(meta_len, "meta JSON").decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ProtocolError(f"invalid payload meta: {exc}") from exc
-    if not isinstance(meta, dict):
-        raise ProtocolError("payload meta must be a JSON object")
-    names = meta.get("arrays", [])
-    if not isinstance(names, list):
-        raise ProtocolError("meta 'arrays' must be a list of names")
-    arrays: Dict[str, np.ndarray] = {}
-    for name in names:
-        (blob_len,) = _U32.unpack(take(4, f"length of array {name!r}"))
-        arrays[str(name)] = array_from_npy(take(blob_len, f"array {name!r}"))
-    if offset != len(blob):
-        raise ProtocolError(
-            f"{len(blob) - offset} trailing bytes after payload arrays"
-        )
-    return meta, arrays
+    """Parse a header → ``(opcode, request_id, payload_length)``."""
+    return WIRE_CODEC.unpack_header(blob)
 
 
 async def _read_frame(
     reader: asyncio.StreamReader, *, max_payload: int
 ) -> Optional[Tuple[int, int, bytes]]:
-    """One frame off an asyncio reader; ``None`` on clean EOF.
-
-    EOF mid-frame (header or payload) is a :class:`ProtocolError` — only
-    a frame boundary is a legal place to hang up.
-    """
-    try:
-        header = await reader.readexactly(FRAME_HEADER.size)
-    except asyncio.IncompleteReadError as exc:
-        if not exc.partial:
-            return None
-        raise ProtocolError("truncated frame header") from exc
-    opcode, request_id, length = unpack_header(header)
-    if length > max_payload:
-        raise ProtocolError(
-            f"frame payload of {length} bytes exceeds the {max_payload} cap",
-            status=413,
-        )
-    try:
-        payload = await reader.readexactly(length) if length else b""
-    except asyncio.IncompleteReadError as exc:
-        raise ProtocolError("truncated frame payload") from exc
-    return opcode, request_id, payload
-
-
-def _error_payload(status: int, message: str) -> bytes:
-    return encode_payload({"status": status, "error": message})
+    """One frame off an asyncio reader; ``None`` on clean EOF."""
+    return await WIRE_CODEC.read_frame_async(reader, max_payload=max_payload)
 
 
 # ---------------------------------------------------------------------- #
@@ -376,14 +288,20 @@ class WireServer:
         """
         try:
             meta, arrays = decode_payload(payload)
-            if opcode == OP_KERNEL:
-                result = await self._handle_kernel(meta, arrays)
+            if opcode == OP_STATZ:
+                self.frames_served += 1
+                body = encode_payload(
+                    {"status": 200, "statz": self._owner.statz()}
+                )
             else:
-                result = self._handle_embed(meta, arrays)
-            self.frames_served += 1
-            body = encode_payload(
-                {"status": 200, "shape": list(result.shape)}, {"z": result}
-            )
+                if opcode == OP_KERNEL:
+                    result = await self._handle_kernel(meta, arrays)
+                else:
+                    result = self._handle_embed(meta, arrays)
+                self.frames_served += 1
+                body = encode_payload(
+                    {"status": 200, "shape": list(result.shape)}, {"z": result}
+                )
             response = (OP_RESULT, body)
         except ProtocolError as exc:
             response = (OP_ERROR, _error_payload(exc.status, str(exc)))
@@ -541,23 +459,14 @@ class WireClient:
 
     # ------------------------------------------------------------------ #
     def _read_frame(self) -> Tuple[int, int, bytes]:
-        header = self._read_exact(FRAME_HEADER.size, "frame header")
-        opcode, request_id, length = unpack_header(header)
-        payload = self._read_exact(length, "frame payload") if length else b""
-        return opcode, request_id, payload
-
-    def _read_exact(self, n: int, what: str) -> bytes:
-        chunks = []
-        remaining = n
-        while remaining:
-            chunk = self._rfile.read(remaining)
-            if not chunk:
-                raise ConnectionError(
-                    f"connection closed while reading {what}"
-                )
-            chunks.append(chunk)
-            remaining -= len(chunk)
-        return b"".join(chunks)
+        frame = WIRE_CODEC.read_frame(self._rfile)
+        if frame is None:
+            # A response is always owed when this is called, so even a
+            # frame-boundary EOF is the server hanging up on us.
+            raise ConnectionError(
+                "connection closed while waiting for a response frame"
+            )
+        return frame
 
     def _send(self, opcode: int, meta: dict, arrays: Dict[str, np.ndarray]) -> int:
         if len(self._pending) >= self.credits:
@@ -581,11 +490,22 @@ class WireClient:
         graph=None,
         x: Optional[np.ndarray] = None,
         y: Optional[np.ndarray] = None,
+        X: Optional[np.ndarray] = None,
+        Y: Optional[np.ndarray] = None,
         pattern: str = "sigmoid_embedding",
         backend: str = "auto",
         deadline_ms: Optional[float] = None,
     ) -> int:
-        """Pipeline one kernel request; returns its request-id."""
+        """Pipeline one kernel request; returns its request-id.
+
+        Operands are accepted under either spelling (``x``/``X``,
+        ``y``/``Y``) so :func:`repro.serve.connect` callers can use one
+        spelling against both transports.
+        """
+        if X is not None:
+            x = X
+        if Y is not None:
+            y = Y
         meta: Dict[str, object] = {"pattern": pattern, "backend": backend}
         if deadline_ms is not None:
             meta["deadline_ms"] = deadline_ms
@@ -613,23 +533,27 @@ class WireClient:
             arrays["ids"] = np.asarray(ids, dtype=np.int64)
         return self._send(OP_EMBED, meta, arrays)
 
+    def send_statz(self) -> int:
+        """Pipeline one stats snapshot request; returns its request-id."""
+        return self._send(OP_STATZ, {}, {})
+
     def recv(self) -> Tuple[int, object]:
         """The next response in completion order.
 
-        Returns ``(request_id, ndarray)`` or ``(request_id, ServeError)``.
-        A status-400 error frame with request-id 0 (a connection-level
-        protocol violation) is raised immediately — the server has
-        already hung up.
+        Returns ``(request_id, ndarray)`` for kernel/embed results,
+        ``(request_id, dict)`` for meta-only results (statz), or
+        ``(request_id, ServeError)`` for error frames.  A status-400
+        error frame with request-id 0 (a connection-level protocol
+        violation) is raised immediately — the server has already hung
+        up.
         """
         opcode, request_id, payload = self._read_frame()
         meta, arrays = decode_payload(payload)
         if opcode == OP_RESULT:
             self._pending.discard(request_id)
-            return request_id, arrays["z"]
+            return request_id, arrays["z"] if "z" in arrays else meta
         if opcode == OP_ERROR:
-            error = serve_error_for_status(
-                int(meta.get("status", 500)), str(meta.get("error", ""))
-            )
+            error = error_from_meta(meta)
             if request_id == 0:
                 # Connection-level failure, not a per-request one.
                 raise error
@@ -660,3 +584,10 @@ class WireClient:
         if isinstance(value, Exception):
             raise value
         return value
+
+    def statz(self) -> dict:
+        """Fetch the server's stats snapshot (mirrors ``GET /statz``)."""
+        value = self._wait_for(self.send_statz())
+        if isinstance(value, Exception):
+            raise value
+        return dict(value.get("statz", {}))
