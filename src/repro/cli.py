@@ -44,6 +44,7 @@ available programmatically through :mod:`repro.experiments` and
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -366,8 +367,6 @@ def _cmd_bench_remote(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
-    import os
-
     from .runtime.remote import REPRO_WORKER_CRASH_AFTER, WorkerAgent
 
     # Fault-injection hook for tests/CI: crash (drop the connection and
@@ -379,6 +378,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         name=args.name,
         threads=args.threads,
         matrix_cache=args.matrix_cache,
+        token=args.token or os.environ.get("REPRO_WORKER_TOKEN") or None,
         crash_after=int(crash_after) if crash_after else None,
         exit_on_crash=True,
     )
@@ -387,15 +387,23 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         f"(threads={args.threads})",
         flush=True,
     )
+    reason = "stopped"
     try:
         if args.once:
-            agent.serve()
+            reason = agent.serve()
         else:
-            agent.run_forever(reconnect_delay=args.reconnect_delay)
+            reason = agent.run_forever(reconnect_delay=args.reconnect_delay)
     except KeyboardInterrupt:
         pass
     finally:
         agent.stop()
+    if reason == "rejected":
+        print(
+            f"repro worker: {agent.last_error or 'registration rejected'}",
+            file=sys.stderr,
+            flush=True,
+        )
+        return 1
     return 0
 
 
@@ -424,6 +432,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         wire_port=args.wire_port,
         wire_credits=args.wire_credits,
         remote_port=args.remote_port,
+        remote_token=(
+            args.remote_token or os.environ.get("REPRO_WORKER_TOKEN") or None
+        ),
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         max_queue=args.max_queue,
@@ -656,6 +667,13 @@ def build_parser() -> argparse.ArgumentParser:
         "worker hosts can join the sharded tier (0 = ephemeral; omit "
         "for local-only execution)",
     )
+    p_serve.add_argument(
+        "--remote-token",
+        default=None,
+        help="shared secret repro worker hosts must present to register "
+        "(defaults to $REPRO_WORKER_TOKEN; omit both to admit any peer "
+        "— loopback/trusted networks only)",
+    )
     p_serve.add_argument("--threads", type=int, default=1)
     p_serve.add_argument("--processes", type=int, default=0)
     p_serve.add_argument(
@@ -690,6 +708,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_worker.add_argument(
         "--name", default=None, help="host name reported to the controller"
+    )
+    p_worker.add_argument(
+        "--token",
+        default=None,
+        help="shared secret presented at registration (defaults to "
+        "$REPRO_WORKER_TOKEN; must match the controller's token)",
     )
     p_worker.add_argument(
         "--threads", type=int, default=1, help="kernel threads per run request"

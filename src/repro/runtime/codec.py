@@ -36,6 +36,7 @@ __all__ = [
     "WORKER_MAGIC",
     "WORKER_VERSION",
     "WORKER_CODEC",
+    "WORKER_MAX_PAYLOAD",
     "OP_REGISTER",
     "OP_WELCOME",
     "OP_PING",
@@ -56,6 +57,12 @@ __all__ = [
 
 WORKER_MAGIC = b"RK"
 WORKER_VERSION = 1
+
+#: Default per-frame payload cap for the worker transport (both sides).
+#: Frames carry whole CSRs and operand blocks, so the bound is generous —
+#: but it must exist: a forged 4-byte length field must never drive an
+#: unbounded allocation.  Override per agent/controller for bigger jobs.
+WORKER_MAX_PAYLOAD = 1 << 30
 
 #: agent → controller, once per connection: {"name", "slots", "threads", "pid"}
 OP_REGISTER = 0x01

@@ -10,6 +10,13 @@ knobs, their defaults and their error messages cannot drift between apps.
 Inheriting configs keep working unchanged for callers: every field has a
 default, existing keyword construction sites are untouched, and each
 subclass ``__post_init__`` chains to this one for the shared validation.
+
+The base fields are declared ``kw_only`` so they *append* keyword-only
+parameters to each subclass ``__init__`` instead of prepending positional
+ones: positional construction of a subclass binds the subclass's own
+fields exactly as it did before the consolidation, and passing a kernel
+knob positionally is an explicit ``TypeError`` rather than a silent
+reassignment of arguments.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ __all__ = ["RuntimeOptions"]
 _DEFAULT_SHARD_MIN_NNZ = 16384
 
 
-@dataclass
+@dataclass(kw_only=True)
 class RuntimeOptions:
     """Kernel-execution knobs shared by the app and serving configs.
 

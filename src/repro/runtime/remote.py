@@ -28,8 +28,8 @@ planned kernel call span *machines* instead of processes.  Three pieces:
 Wire conversation (one frame per line; all frames carry a request id the
 reply echoes)::
 
-    agent → controller   REGISTER {name, slots, threads, pid}
-    controller → agent   WELCOME  {host_id}
+    agent → controller   REGISTER {name, slots, threads, pid[, token]}
+    controller → agent   WELCOME  {host_id} | ERROR {status: 403, ...}
     controller → agent   PING | LOAD {key} (+csr blobs) | DROP {key}
                          | RUN {key, spec, parts, y_same_as_x} (+x/+y)
                          | EXIT
@@ -38,10 +38,16 @@ reply echoes)::
 
 Every exchange is strictly request/reply under a per-host lock, so one
 slow host never desynchronises another host's framing.
+
+Security model: both sides enforce a per-frame payload cap (a forged
+length field can never drive an unbounded allocation), and the controller
+can require a shared-secret ``token`` in REGISTER — set it whenever the
+listener binds anything beyond the loopback default.
 """
 
 from __future__ import annotations
 
+import hmac
 import os
 import socket
 import threading
@@ -53,7 +59,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import WorkerCrashError, WorkerError
-from ..framing import ProtocolError, decode_payload, encode_payload
+from ..framing import (
+    ProtocolError,
+    decode_payload,
+    encode_payload,
+    error_payload,
+)
 from ..sparse import CSRMatrix
 from .codec import (
     OP_DROP,
@@ -66,6 +77,7 @@ from .codec import (
     OP_RUN,
     OP_WELCOME,
     WORKER_CODEC,
+    WORKER_MAX_PAYLOAD,
     build_worker_config,
     config_cache_key,
     decode_csr,
@@ -87,9 +99,9 @@ REPRO_WORKER_CRASH_AFTER = "REPRO_WORKER_CRASH_AFTER"
 _PING_TIMEOUT = 5.0
 
 
-def _recv_reply(rfile) -> Tuple[int, int, bytes]:
+def _recv_reply(rfile, max_payload: int) -> Tuple[int, int, bytes]:
     """One reply frame off a blocking connection; EOF is a connection loss."""
-    frame = WORKER_CODEC.read_frame(rfile)
+    frame = WORKER_CODEC.read_frame(rfile, max_payload=max_payload)
     if frame is None:
         raise ConnectionError("peer closed the connection")
     return frame
@@ -117,6 +129,16 @@ class WorkerAgent:
         ``threads``).
     matrix_cache:
         LRU bound on CSRs kept resident (mirrors the shm pool's bound).
+    token:
+        Shared secret presented in REGISTER.  Must match the
+        controller's token when the controller requires one; without a
+        token the transport is unauthenticated and should only ever run
+        on loopback or a trusted network.
+    max_payload:
+        Per-frame payload cap (bytes) enforced on every read, so a
+        forged length field from a bad peer cannot drive an unbounded
+        allocation.  Must be at least as large as the controller's —
+        both sides default to :data:`~repro.runtime.codec.WORKER_MAX_PAYLOAD`.
     crash_after:
         Fault injection: after receiving this many RUN frames the agent
         drops the connection without replying (and ``os._exit(1)``-s when
@@ -134,6 +156,8 @@ class WorkerAgent:
         slots: Optional[int] = None,
         matrix_cache: int = 16,
         connect_timeout: float = 10.0,
+        token: Optional[str] = None,
+        max_payload: int = WORKER_MAX_PAYLOAD,
         crash_after: Optional[int] = None,
         exit_on_crash: bool = False,
     ) -> None:
@@ -147,6 +171,9 @@ class WorkerAgent:
             raise ValueError(f"slots must be >= 1, got {self.slots}")
         self.matrix_cache = int(matrix_cache)
         self.connect_timeout = connect_timeout
+        self.token = token
+        self.max_payload = int(max_payload)
+        self.last_error: Optional[str] = None
         self.crash_after = crash_after
         self.exit_on_crash = exit_on_crash
         self.runs_executed = 0
@@ -175,8 +202,11 @@ class WorkerAgent:
         """Dial the controller and serve until EXIT or disconnect.
 
         Returns the reason the loop ended: ``"exit"`` (controller said
-        so), ``"disconnected"`` (controller went away), ``"stopped"``
-        (:meth:`stop`), or ``"crashed"`` (fault injection fired).
+        so), ``"disconnected"`` (controller went away or desynchronised
+        the framing), ``"rejected"`` (controller refused the
+        registration — bad token; details in :attr:`last_error`),
+        ``"stopped"`` (:meth:`stop`), or ``"crashed"`` (fault injection
+        fired).
         """
         # Warm the JIT kernel cache before taking traffic, exactly as the
         # shm workers do at spawn.
@@ -193,27 +223,33 @@ class WorkerAgent:
         self._sock = sock
         rfile = sock.makefile("rb")
         try:
+            register_meta = {
+                "name": self.name,
+                "slots": self.slots,
+                "threads": self.threads,
+                "pid": os.getpid(),
+            }
+            if self.token is not None:
+                register_meta["token"] = self.token
             sock.sendall(
                 WORKER_CODEC.pack_frame(
-                    OP_REGISTER,
-                    0,
-                    encode_payload(
-                        {
-                            "name": self.name,
-                            "slots": self.slots,
-                            "threads": self.threads,
-                            "pid": os.getpid(),
-                        }
-                    ),
+                    OP_REGISTER, 0, encode_payload(register_meta)
                 )
             )
-            opcode, _, payload = _recv_reply(rfile)
+            opcode, _, payload = _recv_reply(rfile, self.max_payload)
+            if opcode == OP_ERROR:
+                meta, _ = decode_payload(payload)
+                self.last_error = str(meta.get("error", "registration rejected"))
+                return "rejected"
             if opcode != OP_WELCOME:
                 raise ProtocolError(
                     f"expected WELCOME, got opcode 0x{opcode:02x}"
                 )
             return self._serve_loop(sock, rfile)
-        except (ConnectionError, OSError):
+        except (ProtocolError, ConnectionError, OSError):
+            # ProtocolError (bad magic/version, oversized frame, garbage
+            # payload) means the stream is untrustworthy: treat it as a
+            # disconnect — never let it kill the worker process.
             return "stopped" if self._stop.is_set() else "disconnected"
         finally:
             self._sock = None
@@ -226,21 +262,27 @@ class WorkerAgent:
             except OSError:
                 pass
 
-    def run_forever(self, reconnect_delay: float = 1.0) -> None:
-        """Serve, reconnecting after controller restarts, until stopped."""
+    def run_forever(self, reconnect_delay: float = 1.0) -> str:
+        """Serve, reconnecting after controller restarts, until stopped.
+
+        Returns the terminal reason (:meth:`serve`'s vocabulary); a
+        rejected registration is terminal — retrying a bad token would
+        just hammer the controller.
+        """
         while not self._stop.is_set():
             try:
                 reason = self.serve()
-            except ConnectionError:
+            except (ProtocolError, ConnectionError):
                 reason = "disconnected"
-            if reason in ("exit", "stopped", "crashed"):
-                return
+            if reason in ("exit", "stopped", "crashed", "rejected"):
+                return reason
             # Matrices and configs survive a reconnect, but the controller
             # tracks loaded keys per connection and will re-ship; dropping
             # our cache keeps both sides' views consistent.
             self._matrices.clear()
             if self._stop.wait(reconnect_delay):
-                return
+                return "stopped"
+        return "stopped"
 
     # ------------------------------------------------------------------ #
     def _serve_loop(self, sock: socket.socket, rfile) -> str:
@@ -252,7 +294,7 @@ class WorkerAgent:
             )
 
         while not self._stop.is_set():
-            frame = WORKER_CODEC.read_frame(rfile)
+            frame = WORKER_CODEC.read_frame(rfile, max_payload=self.max_payload)
             if frame is None:
                 return "disconnected"
             opcode, request_id, payload = frame
@@ -421,6 +463,26 @@ class _RemoteHost:
             pass
 
 
+def _contiguous_chunks(
+    group: Sequence[ShardAssignment],
+) -> List[List[ShardAssignment]]:
+    """Split a routed group at row-contiguity breaks.
+
+    First-round groups are contiguous by construction
+    (:func:`~repro.runtime.shard.route_shards`), but a retry round can
+    hand one survivor the groups of several non-adjacent lost hosts.
+    Executing each contiguous chunk as its own RUN keeps the returned
+    blocks tight — no zero-filled gap rows shipped over the wire.
+    """
+    chunks: List[List[ShardAssignment]] = [[group[0]]]
+    for a in group[1:]:
+        if a.parts[0].start == chunks[-1][-1].parts[-1].stop:
+            chunks[-1].append(a)
+        else:
+            chunks.append([a])
+    return chunks
+
+
 class RemoteController:
     """Admits remote worker hosts and routes shard groups across them.
 
@@ -445,9 +507,17 @@ class RemoteController:
         port: int = 0,
         heartbeat_s: float = 2.0,
         timeout: float = 60.0,
+        token: Optional[str] = None,
+        max_payload: int = WORKER_MAX_PAYLOAD,
     ) -> None:
         self.heartbeat_s = heartbeat_s
         self.timeout = timeout
+        #: Shared secret every REGISTER must carry (constant-time
+        #: compared).  ``None`` admits any peer — acceptable on the
+        #: loopback default bind, mandatory to set when binding a
+        #: cross-machine interface.
+        self.token = token
+        self.max_payload = int(max_payload)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, int(port)))
@@ -484,7 +554,9 @@ class RemoteController:
             try:
                 sock.settimeout(self.timeout)
                 rfile = sock.makefile("rb")
-                frame = WORKER_CODEC.read_frame(rfile)
+                frame = WORKER_CODEC.read_frame(
+                    rfile, max_payload=self.max_payload
+                )
                 if frame is None:
                     raise ConnectionError("agent hung up before registering")
                 opcode, _, payload = frame
@@ -493,6 +565,21 @@ class RemoteController:
                         f"expected REGISTER, got opcode 0x{opcode:02x}"
                     )
                 meta, _ = decode_payload(payload)
+                if self.token is not None and not hmac.compare_digest(
+                    str(meta.get("token") or ""), self.token
+                ):
+                    sock.sendall(
+                        WORKER_CODEC.pack_frame(
+                            OP_ERROR,
+                            0,
+                            error_payload(
+                                403,
+                                "registration rejected: bad or missing "
+                                "token (start the worker with --token)",
+                            ),
+                        )
+                    )
+                    raise ConnectionError("agent rejected: bad token")
                 with self._hosts_lock:
                     host_id = self._next_host_id
                     self._next_host_id += 1
@@ -513,6 +600,13 @@ class RemoteController:
                     )
                 )
             except (ProtocolError, ConnectionError, OSError, socket.timeout):
+                # The makefile() reader may still hold an io-ref on the
+                # socket, so close() alone would leave the fd (and the
+                # peer's connection) open; shutdown() severs it for real.
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
                 try:
                     sock.close()
                 except OSError:
@@ -529,6 +623,7 @@ class RemoteController:
                     )
                 except (
                     WorkerCrashError,
+                    ProtocolError,
                     ConnectionError,
                     OSError,
                     socket.timeout,
@@ -589,7 +684,9 @@ class RemoteController:
             WORKER_CODEC.pack_frame(opcode, rid, encode_payload(meta, arrays))
         )
         while True:
-            reply_op, reply_id, payload = _recv_reply(record.rfile)
+            reply_op, reply_id, payload = _recv_reply(
+                record.rfile, self.max_payload
+            )
             if reply_id != rid:
                 # A stale reply (e.g. from a timed-out earlier exchange)
                 # would desynchronise everything after it; drop the host.
@@ -674,7 +771,12 @@ class RemoteController:
                 f"remote worker {record.name!r} returned a "
                 f"{block.shape} block for rows [{w0}, {w1})"
             )
-        Z[w0:w1] = block
+        # Scatter only the row ranges this group actually covers.  A
+        # group with a row gap (possible on retry re-routing) comes back
+        # as a block zero-filled over [w0, w1); a full-span write would
+        # overwrite rows other hosts already completed with those zeros.
+        for start, stop, _nnz in parts:
+            Z[start:stop] = block[start - w0 : stop - w0]
 
     # ------------------------------------------------------------------ #
     # Batch dispatch
@@ -710,6 +812,10 @@ class RemoteController:
             if not first_round:
                 self.retries += 1
             first_round = False
+            # Retry rounds rebuild ``remaining`` from thread-completion
+            # order; re-sort by row start so the routed groups stay
+            # row-ordered and route_shards' contiguity reasoning holds.
+            remaining.sort(key=lambda a: a.parts[0].start)
             plan = ShardPlan(
                 num_shards=len(remaining),
                 assignments=tuple(remaining),
@@ -720,12 +826,25 @@ class RemoteController:
             failed_lock = threading.Lock()
 
             def dispatch(record: _RemoteHost, group: List[ShardAssignment]):
-                try:
-                    self._run_group(record, key, A, spec_meta, group, X, Y, Z)
-                except (ConnectionError, OSError, socket.timeout) as exc:
-                    self._mark_lost(record, str(exc))
-                    with failed_lock:
-                        failed.extend(group)
+                # One RUN per contiguous chunk: a merged retry group may
+                # span row gaps that other hosts' finished work fills.
+                chunks = _contiguous_chunks(group)
+                for index, chunk in enumerate(chunks):
+                    try:
+                        self._run_group(
+                            record, key, A, spec_meta, chunk, X, Y, Z
+                        )
+                    except (
+                        ProtocolError,
+                        ConnectionError,
+                        OSError,
+                        socket.timeout,
+                    ) as exc:
+                        self._mark_lost(record, str(exc))
+                        with failed_lock:
+                            for chunk_left in chunks[index:]:
+                                failed.extend(chunk_left)
+                        return
 
             busy = [
                 (record, group)
@@ -788,6 +907,7 @@ class RemoteController:
                     )
                 except (
                     WorkerError,
+                    ProtocolError,
                     ConnectionError,
                     OSError,
                     socket.timeout,

@@ -228,6 +228,11 @@ class KernelRuntime:
         Liveness cadence for idle hosts and the per-exchange reply
         ceiling after which a host is declared lost and its shards are
         retried on the survivors.
+    remote_token:
+        Shared secret ``repro worker`` hosts must present to register
+        (constant-time compared).  ``None`` admits any peer — fine on
+        the loopback default ``remote_host``, set it whenever the
+        controller binds a cross-machine interface.
 
     Example
     -------
@@ -266,6 +271,7 @@ class KernelRuntime:
         remote_host: str = "127.0.0.1",
         remote_heartbeat_s: float = 2.0,
         remote_timeout: float = 60.0,
+        remote_token: Optional[str] = None,
     ) -> None:
         self.num_threads = num_threads or available_threads()
         self.autotune = autotune
@@ -289,6 +295,7 @@ class KernelRuntime:
         self.remote_host = remote_host
         self.remote_heartbeat_s = remote_heartbeat_s
         self.remote_timeout = remote_timeout
+        self.remote_token = remote_token
         self._workers: Optional[WorkerPool] = None
         self._workers_lock = threading.Lock()
         self._controller: Optional[RemoteController] = None
@@ -372,6 +379,7 @@ class KernelRuntime:
                     port=self.remote_port,
                     heartbeat_s=self.remote_heartbeat_s,
                     timeout=self.remote_timeout,
+                    token=self.remote_token,
                 )
             return self._controller
 

@@ -218,6 +218,10 @@ class ServeConfig(RuntimeOptions):
     #: distributed-controller listener for ``repro worker`` hosts
     #: (``None`` = local-only; 0 = ephemeral port)
     remote_port: Optional[int] = None
+    #: shared secret worker hosts must present to register; ``None``
+    #: admits any peer — loopback/trusted-network only.  Never reported
+    #: by ``describe()``/``/statz``.
+    remote_token: Optional[str] = None
     plan_cache_size: int = 128
     models: Tuple[ModelSpec, ...] = field(default_factory=lambda: DEFAULT_MODELS)
     #: patterns pre-planned against every registered graph at startup

@@ -74,6 +74,7 @@ class ModelRegistry:
             processes=self.config.processes,
             shard_min_nnz=self.config.shard_min_nnz,
             remote_port=self.config.remote_port,
+            remote_token=self.config.remote_token,
             # Request plans stay bitwise-exact; the reorder knob only
             # reaches model *training* via ModelSpec.build.
             reorder="none",

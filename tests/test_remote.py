@@ -57,7 +57,7 @@ from repro.runtime.codec import (
     remote_spec_meta,
     spec_from_meta,
 )
-from repro.framing import decode_payload, encode_payload
+from repro.framing import FRAME_HEADER, decode_payload, encode_payload
 
 from _helpers import make_xy
 
@@ -205,6 +205,27 @@ def test_kill_one_host_mid_batch_completes_on_survivor(problem):
         _teardown(runtime, agents)
 
 
+def test_two_nonadjacent_hosts_lost_mid_batch_no_corruption(problem):
+    """Regression: two *non-adjacent* groups fail in one batch (hosts 0
+    and 2 of 3), so the retry round hands the survivor work spanning the
+    row range the survivor already completed in round one.  The write-back
+    must scatter only covered ranges — a full-span write would zero the
+    survivor's finished rows."""
+    A, X = problem
+    ref = fusedmm(A, X, X, pattern="sigmoid_embedding", num_threads=1)
+    runtime, agents = _remote_runtime(
+        3, agent_kwargs=({"crash_after": 1}, {}, {"crash_after": 1})
+    )
+    try:
+        Z = runtime.run_sharded(A, X, pattern="sigmoid_embedding")
+        assert np.array_equal(Z, ref)
+        remote = runtime.stats()["remote"]
+        assert remote["hosts_lost"] >= 2
+        assert remote["retries"] >= 1
+    finally:
+        _teardown(runtime, agents)
+
+
 def test_all_hosts_dead_falls_back_to_parent(problem):
     A, X = problem
     ref = fusedmm(A, X, X, pattern="sigmoid_embedding", num_threads=1)
@@ -301,6 +322,92 @@ def test_heartbeat_evicts_dead_idle_host():
         assert controller.hosts_lost >= 1
     finally:
         runtime.close()
+
+
+# ---------------------------------------------------------------------- #
+# Transport hardening: registration auth + payload caps + bad framing
+# ---------------------------------------------------------------------- #
+def test_registration_token_rejects_and_admits():
+    controller = RemoteController(token="s3cret")
+    try:
+        bad = WorkerAgent("127.0.0.1", controller.port, name="bad")
+        assert bad.serve() == "rejected"
+        assert "token" in (bad.last_error or "")
+        assert controller.wait_for_hosts(1, timeout=0.5) == 0
+        good = _AgentThread(controller.port, name="good", token="s3cret")
+        try:
+            assert controller.wait_for_hosts(1, timeout=15.0) == 1
+        finally:
+            good.stop()
+    finally:
+        controller.close()
+
+
+def test_runtime_passes_token_through(problem):
+    """End-to-end: a tokened runtime admits a tokened agent and executes."""
+    A, X = problem
+    ref = fusedmm(A, X, X, pattern="sigmoid_embedding", num_threads=1)
+    runtime, agents = _remote_runtime(
+        1, agent_kwargs=({"token": "t0"},), remote_token="t0"
+    )
+    try:
+        assert np.array_equal(
+            runtime.run_sharded(A, X, pattern="sigmoid_embedding"), ref
+        )
+    finally:
+        _teardown(runtime, agents)
+
+
+def test_forged_frame_length_is_rejected_not_allocated():
+    """A forged 4-byte length field must close the connection, never
+    drive a giant allocation."""
+    controller = RemoteController(max_payload=1024)
+    sock = None
+    try:
+        sock = socket.create_connection(("127.0.0.1", controller.port), timeout=10)
+        sock.sendall(
+            FRAME_HEADER.pack(b"RK", 1, OP_REGISTER, 0, 3 * 2**30)
+        )
+        sock.settimeout(10)
+        assert sock.recv(1) == b""  # hung up on us — no WELCOME
+        assert controller.live_hosts() == []
+    finally:
+        if sock is not None:
+            sock.close()
+        controller.close()
+
+
+def test_agent_treats_bad_magic_as_disconnect():
+    """Garbage framing from the controller side must end serve() with a
+    clean "disconnected", not a ProtocolError traceback killing the
+    worker process."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+
+    def fake_controller():
+        conn, _ = listener.accept()
+        rfile = conn.makefile("rb")
+        WORKER_CODEC.read_frame(rfile)  # REGISTER
+        conn.sendall(
+            WORKER_CODEC.pack_frame(
+                OP_WELCOME, 0, encode_payload({"host_id": 1})
+            )
+        )
+        conn.sendall(b"XX" + bytes(FRAME_HEADER.size - 2))  # bad magic
+        time.sleep(0.2)
+        rfile.close()
+        conn.close()
+
+    thread = threading.Thread(target=fake_controller, daemon=True)
+    thread.start()
+    try:
+        agent = WorkerAgent("127.0.0.1", port, name="victim")
+        assert agent.serve() == "disconnected"
+    finally:
+        thread.join(timeout=10)
+        listener.close()
 
 
 # ---------------------------------------------------------------------- #
@@ -433,6 +540,19 @@ def test_runtime_options_validation():
         "processes": 3,
         "shard_min_nnz": 7,
     }
+
+
+def test_runtime_options_knobs_are_keyword_only():
+    """The inherited kernel knobs are kw_only: they never shift a
+    subclass's positional parameters, and passing one positionally is an
+    explicit TypeError instead of a silent reassignment."""
+    from repro.apps import VerseConfig
+
+    with pytest.raises(TypeError):
+        RuntimeOptions("jit")
+    cfg = VerseConfig(64)  # positional args bind the subclass's own fields
+    assert cfg.dim == 64
+    assert cfg.kernel_backend == "auto"
 
 
 def test_app_configs_inherit_runtime_options():
