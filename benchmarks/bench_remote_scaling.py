@@ -3,9 +3,11 @@
 Runs :func:`repro.bench.remote_bench.bench_remote_scaling` — the same
 kernel on the same graph executed by 1 and 2 real ``python -m repro
 worker`` host processes over localhost TCP — verifying bitwise equality
-against sequential ``fusedmm``, and a failover leg where one of two hosts
+against sequential ``fusedmm``, a failover leg where one of two hosts
 is fault-injected to crash mid-batch (the controller must finish the
-batch on the survivor, still bitwise).
+batch on the survivor, still bitwise), and a hedge leg where one host
+stalls on a late RUN and the controller's speculative hedge must win
+(``hedge_wins >= 1``) without changing a byte.
 
 Run standalone::
 
@@ -51,6 +53,11 @@ def main(argv=None) -> int:
         help="skip the failover leg (kill one of two hosts mid-batch)",
     )
     parser.add_argument(
+        "--no-hedge",
+        action="store_true",
+        help="skip the hedge leg (stall one of two hosts on a late RUN)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -74,6 +81,7 @@ def main(argv=None) -> int:
         repeats=repeats,
         worker_counts=args.workers,
         kill_one=not args.no_kill,
+        hedge_leg=not args.no_hedge,
     )
     print(format_table(rows, title="Remote scaling (distributed worker tier)"))
 
@@ -99,6 +107,12 @@ def main(argv=None) -> int:
             failures.append(
                 "failover leg did not exercise recovery "
                 f"(hosts_lost={r['hosts_lost']}, retries={r['retries']})"
+            )
+    for r in (r for r in rows if r["leg"] == "hedge"):
+        if r["hedge_wins"] < 1:
+            failures.append(
+                "hedge leg did not exercise speculation "
+                f"(hedges={r['hedges']}, hedge_wins={r['hedge_wins']})"
             )
     if failures and not args.no_check:
         for f in failures:

@@ -46,6 +46,14 @@ from .core import (
     register_op,
     register_pattern,
 )
+from .resilience import (
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    HealthTracker,
+    RetryPolicy,
+    retry_call,
+)
 from .runtime import EpochStream, KernelRequest, KernelRuntime
 from .sparse import COOMatrix, CSRMatrix, as_csr
 from .version import __version__
@@ -71,4 +79,10 @@ __all__ = [
     "KernelRuntime",
     "KernelRequest",
     "EpochStream",
+    "RetryPolicy",
+    "retry_call",
+    "HealthTracker",
+    "FaultPlan",
+    "Fault",
+    "FaultInjector",
 ]

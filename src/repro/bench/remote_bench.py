@@ -41,12 +41,21 @@ def spawn_worker(
     *,
     threads: int = 1,
     crash_after: Optional[int] = None,
+    fault_plan: Optional[str] = None,
+    reconnect_delay: Optional[float] = None,
+    once: bool = True,
+    stderr=subprocess.DEVNULL,
 ) -> subprocess.Popen:
     """Start one ``python -m repro worker`` subprocess against ``port``.
 
-    ``crash_after=N`` arms the fault-injection hook: the worker drops its
-    connection (and exits) instead of replying to its ``N``-th RUN
-    request — the deterministic stand-in for a host dying mid-batch.
+    ``crash_after=N`` arms the legacy fault-injection hook (drop the
+    connection and exit instead of replying to the ``N``-th RUN);
+    ``fault_plan`` passes a full ``--fault-plan`` schedule
+    (:meth:`repro.resilience.FaultPlan.from_spec` grammar).  ``once``
+    keeps the historical default — the worker exits when the controller
+    disconnects; the chaos harness passes ``once=False`` so agents
+    reconnect through their backoff loop, and captures ``stderr`` to
+    read the worker's ``CHAOS-FAULT`` coverage lines back.
     """
     env = dict(os.environ)
     src_dir = str(Path(__file__).resolve().parents[2])
@@ -55,23 +64,29 @@ def spawn_worker(
         env[REPRO_WORKER_CRASH_AFTER] = str(crash_after)
     else:
         env.pop(REPRO_WORKER_CRASH_AFTER, None)
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "worker",
+        "--port",
+        str(port),
+        "--name",
+        name,
+        "--threads",
+        str(threads),
+    ]
+    if once:
+        argv.append("--once")
+    if fault_plan:
+        argv += ["--fault-plan", fault_plan]
+    if reconnect_delay is not None:
+        argv += ["--reconnect-delay", str(reconnect_delay)]
     return subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro",
-            "worker",
-            "--port",
-            str(port),
-            "--name",
-            name,
-            "--threads",
-            str(threads),
-            "--once",
-        ],
+        argv,
         env=env,
         stdout=subprocess.DEVNULL,
-        stderr=subprocess.DEVNULL,
+        stderr=stderr,
     )
 
 
@@ -96,6 +111,7 @@ def bench_remote_scaling(
     worker_counts: Sequence[int] = (1, 2),
     pattern: str = "sigmoid_embedding",
     kill_one: bool = True,
+    hedge_leg: bool = True,
     seed: int = 5,
 ) -> List[Dict[str, object]]:
     """Throughput of remote sharded execution at each worker-host count.
@@ -103,9 +119,12 @@ def bench_remote_scaling(
     Every row records whether the distributed result was bitwise
     identical to sequential ``fusedmm`` — the tier's identity contract is
     that shard *placement* (local process, remote host, parent fallback)
-    never changes the bytes of ``Z``.  With ``kill_one`` a final failover
-    row runs two hosts, one rigged to crash mid-batch, and reports the
-    recovery wall-clock plus the controller's loss/retry counters.
+    never changes the bytes of ``Z``.  With ``kill_one`` a failover row
+    runs two hosts, one rigged to crash mid-batch, and reports the
+    recovery wall-clock plus the controller's loss/retry counters.  With
+    ``hedge_leg`` a straggler row runs two hosts, one rigged to stall on
+    a late RUN; the controller's speculative hedge must complete the
+    chunk in-parent (``hedge_wins >= 1``) while the bytes stay identical.
     """
     A = rmat(num_nodes, num_nodes * avg_degree, seed=seed)
     X = random_features(A.nrows, dim, seed=seed)
@@ -198,6 +217,59 @@ def bench_remote_scaling(
                 "identical": identical,
                 "hosts_lost": remote_stats["hosts_lost"],
                 "retries": remote_stats["retries"],
+            }
+        )
+
+    if hedge_leg:
+        warm = 3
+        runtime = KernelRuntime(num_threads=1, processes=0, remote_port=0)
+        procs = []
+        try:
+            controller = runtime.controller
+            # One steady host, one rigged to stall for 3s on the RUN
+            # right after the warm-up batches.  By then the controller
+            # has enough per-nnz throughput samples to place a hedge
+            # deadline, so the stalled chunk is speculatively recomputed
+            # in-parent and the straggler's eventual reply is discarded.
+            procs = [
+                spawn_worker(controller.port, "steady"),
+                spawn_worker(
+                    controller.port,
+                    "laggard",
+                    fault_plan=f"delay@{warm + 1}:3.0",
+                ),
+            ]
+            joined = controller.wait_for_hosts(2, timeout=_JOIN_TIMEOUT_S)
+            if joined < 2:
+                raise RuntimeError(
+                    f"only {joined}/2 worker hosts registered within "
+                    f"{_JOIN_TIMEOUT_S}s"
+                )
+            for _ in range(warm):
+                runtime.run_sharded(A, X, pattern=pattern)
+            t0 = time.perf_counter()
+            Z = runtime.run_sharded(A, X, pattern=pattern)
+            seconds = time.perf_counter() - t0
+            identical = bool(np.array_equal(Z, ref))
+            remote_stats = runtime.stats()["remote"]
+        finally:
+            runtime.close()
+            _reap(procs)
+        rows.append(
+            {
+                "benchmark": "remote_scaling",
+                "leg": "hedge",
+                "graph": f"rmat n={num_nodes}",
+                "nnz": A.nnz,
+                "d": dim,
+                "pattern": pattern,
+                "workers": 2,
+                "seconds": seconds,
+                "edges_per_s": A.nnz / max(seconds, 1e-12),
+                "identical": identical
+                and remote_stats["hedge_wins"] >= 1,
+                "hedges": remote_stats["hedges"],
+                "hedge_wins": remote_stats["hedge_wins"],
             }
         )
     return rows

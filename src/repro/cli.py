@@ -16,7 +16,8 @@ Sub-commands
                   ``bench serve``: serving throughput — micro-batching
                   coalescer vs one-request-at-a-time dispatch;
                   ``bench remote``: distributed tier — TCP worker hosts
-                  vs in-process sharding, with a kill-one-host leg;
+                  vs in-process sharding, with kill-one-host and
+                  straggler-hedging legs;
                   ``bench compare``: diff BENCH_*.json trend records and
                   gate on regressions)
 ``runtime``       runtime observability (``runtime stats``: drive a
@@ -32,7 +33,11 @@ Sub-commands
 ``worker``        start one distributed worker host: connects to a
                   controller (a ``KernelRuntime`` with ``remote_port``
                   set, e.g. ``repro serve --remote-port``), receives CSR
-                  shards once per matrix and executes row-ranges
+                  shards once per matrix and executes row-ranges;
+                  ``--fault-plan`` arms deterministic fault injection
+``chaos``         deterministic chaos soak over the resilience layer:
+                  seeded faults against workers, controller and serving
+                  front-ends, gated on bitwise outputs and zero hangs
 ``report``        regenerate EXPERIMENTS.md style results (all experiments,
                   scaled down) and write them to a Markdown file
 
@@ -287,9 +292,12 @@ def _cmd_runtime_stats(args: argparse.Namespace) -> int:
         runtime.close()
     cache = stats.pop("plan_cache")
     workers = stats.pop("workers")
+    remote = stats.pop("remote", None)
     rows = [{"section": "plan_cache", **cache}]
     if workers is not None:
         rows.append({"section": "workers", **workers})
+    if remote is not None:
+        rows.append({"section": "remote", **remote})
     print(
         format_table(
             rows,
@@ -357,6 +365,7 @@ def _cmd_bench_remote(args: argparse.Namespace) -> int:
         worker_counts=args.workers,
         pattern=args.pattern,
         kill_one=not args.no_kill,
+        hedge_leg=not args.no_hedge,
     )
     print(format_table(rows, title="Remote scaling (distributed worker tier)"))
     if args.json:
@@ -367,11 +376,29 @@ def _cmd_bench_remote(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
-    from .runtime.remote import REPRO_WORKER_CRASH_AFTER, WorkerAgent
+    from .resilience import Fault, FaultPlan
+    from .runtime.remote import (
+        REPRO_WORKER_CRASH_AFTER,
+        REPRO_WORKER_FAULT_PLAN,
+        WorkerAgent,
+    )
 
-    # Fault-injection hook for tests/CI: crash (drop the connection and
-    # exit) instead of replying to the Nth RUN request.
+    # Fault-injection hooks for tests/CI: --fault-plan (or the env
+    # equivalents) schedules crash/disconnect/delay/drop_frame faults
+    # against RUN requests; fired faults are logged to stderr so a chaos
+    # harness can assert coverage.
     crash_after = os.environ.get(REPRO_WORKER_CRASH_AFTER)
+    fault_spec = args.fault_plan or os.environ.get(REPRO_WORKER_FAULT_PLAN)
+    fault_plan = FaultPlan.from_spec(fault_spec) if fault_spec else None
+
+    def _log_fault(fault: Fault, step: int) -> None:
+        print(
+            f"CHAOS-FAULT host={args.name or 'worker'} kind={fault.kind} "
+            f"step={step}",
+            file=sys.stderr,
+            flush=True,
+        )
+
     agent = WorkerAgent(
         args.controller_host,
         args.port,
@@ -380,6 +407,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         matrix_cache=args.matrix_cache,
         token=args.token or os.environ.get("REPRO_WORKER_TOKEN") or None,
         crash_after=int(crash_after) if crash_after else None,
+        fault_plan=fault_plan,
+        fault_log=_log_fault,
         exit_on_crash=True,
     )
     print(
@@ -404,6 +433,43 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             flush=True,
         )
         return 1
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .bench.chaos import run_chaos
+
+    report = run_chaos(
+        seed=args.seed,
+        duration_s=args.duration,
+        workers=args.workers,
+        nodes=args.nodes,
+        avg_degree=args.avg_degree,
+        dim=args.dim,
+        pattern=args.pattern,
+        stall_timeout_s=args.stall_timeout,
+    )
+    printable = []
+    for row in report["rows"]:
+        flat = dict(row)
+        counts = flat.pop("fault_counts", {})
+        flat["faults"] = (
+            ",".join(f"{k}:{v}" for k, v in sorted(counts.items())) or "-"
+        )
+        printable.append(flat)
+    print(
+        format_table(
+            printable,
+            title=f"Chaos soak (seed={report['seed']}, "
+            f"{report['duration_s']:.0f}s)",
+        )
+    )
+    print(format_table([report["gates"]], title="Gates"))
+    if not report["ok"]:
+        failed = [k for k, v in report["gates"].items() if not v]
+        print(f"repro chaos: FAILED gates: {failed}", file=sys.stderr)
+        return 1
+    print("repro chaos: all gates held (faults cost time, never bytes)")
     return 0
 
 
@@ -441,6 +507,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline_ms=args.deadline_ms,
         num_threads=args.threads,
         processes=args.processes,
+        heartbeat_strikes=args.heartbeat_strikes,
+        fault_spec=args.fault_spec,
         models=models,
     )
     KernelServer(config).run()
@@ -596,6 +664,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the fault-tolerance leg (kill one worker mid-batch)",
     )
+    p_bench_rm.add_argument(
+        "--no-hedge",
+        action="store_true",
+        help="skip the straggler leg (stall one worker, hedge in-parent)",
+    )
     p_bench_rm.add_argument("--json", metavar="PATH", default=None)
     p_bench_rm.set_defaults(func=_cmd_bench_remote)
 
@@ -674,6 +747,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(defaults to $REPRO_WORKER_TOKEN; omit both to admit any peer "
         "— loopback/trusted networks only)",
     )
+    p_serve.add_argument(
+        "--heartbeat-strikes",
+        type=int,
+        default=3,
+        help="consecutive missed heartbeat pings before the distributed "
+        "controller evicts an idle worker host",
+    )
+    p_serve.add_argument(
+        "--fault-spec",
+        default=None,
+        metavar="SPEC",
+        help="inject faults into incoming requests, e.g. "
+        "'delay@3:0.2,disconnect@5' (chaos/testing only)",
+    )
     p_serve.add_argument("--threads", type=int, default=1)
     p_serve.add_argument("--processes", type=int, default=0)
     p_serve.add_argument(
@@ -735,7 +822,40 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit when the controller disconnects instead of reconnecting",
     )
+    p_worker.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="fault-injection schedule applied to RUN requests, e.g. "
+        "'delay@2:0.5,drop_frame@4,crash@7+' (defaults to "
+        "$REPRO_WORKER_FAULT_PLAN; chaos/testing only)",
+    )
     p_worker.set_defaults(func=_cmd_worker)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="deterministic chaos soak: inject faults everywhere, gate on "
+        "bitwise outputs and zero hangs",
+    )
+    p_chaos.add_argument("--seed", type=int, default=7)
+    p_chaos.add_argument(
+        "--duration", type=float, default=60.0, help="target soak seconds"
+    )
+    p_chaos.add_argument(
+        "--workers", type=int, default=2, help="fault-injected worker hosts"
+    )
+    p_chaos.add_argument("--nodes", type=int, default=3_000)
+    p_chaos.add_argument("--avg-degree", type=int, default=8)
+    p_chaos.add_argument("--dim", type=int, default=16)
+    p_chaos.add_argument("--pattern", default="sigmoid_embedding")
+    p_chaos.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=None,
+        help="watchdog hang threshold in seconds (default: "
+        "max(120, 2x duration))",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_report = sub.add_parser("report", help="regenerate the experiments report")
     p_report.add_argument("--output", default="EXPERIMENTS_GENERATED.md")

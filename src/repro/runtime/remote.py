@@ -52,8 +52,8 @@ import os
 import socket
 import threading
 import time
-from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor, wait as _futures_wait
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -64,6 +64,14 @@ from ..framing import (
     decode_payload,
     encode_payload,
     error_payload,
+)
+from ..resilience import (
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    HealthTracker,
+    RetryPolicy,
+    seed_from_name,
 )
 from ..sparse import CSRMatrix
 from .codec import (
@@ -86,16 +94,29 @@ from .codec import (
 )
 from .shard import ShardAssignment, ShardPlan, route_shards
 
-__all__ = ["WorkerAgent", "RemoteController", "REPRO_WORKER_CRASH_AFTER"]
+__all__ = [
+    "WorkerAgent",
+    "RemoteController",
+    "REPRO_WORKER_CRASH_AFTER",
+    "REPRO_WORKER_FAULT_PLAN",
+]
 
 #: Environment variable read by ``repro worker``: crash (``os._exit``) on
 #: receiving the Nth RUN frame.  Fault-injection hook for tests and the CI
-#: distributed-smoke job — never set it in production.
+#: distributed-smoke job — never set it in production.  Equivalent to a
+#: sticky ``crash@N+`` entry in :data:`REPRO_WORKER_FAULT_PLAN`.
 REPRO_WORKER_CRASH_AFTER = "REPRO_WORKER_CRASH_AFTER"
+
+#: Environment variable read by ``repro worker``: a
+#: :meth:`repro.resilience.FaultPlan.from_spec` schedule applied to RUN
+#: frames (e.g. ``"delay@2:0.5,drop_frame@4,crash@7+"``).  Chaos-harness
+#: hook — never set it in production.
+REPRO_WORKER_FAULT_PLAN = "REPRO_WORKER_FAULT_PLAN"
 
 #: Reply window for heartbeat pings (seconds) — deliberately much shorter
 #: than the run timeout: an idle host that cannot answer a ping within
-#: this window is partitioned, not busy.
+#: this window is slow or partitioned, not busy.  One missed ping is a
+#: *strike*, not an eviction — see ``heartbeat_strikes``.
 _PING_TIMEOUT = 5.0
 
 
@@ -143,7 +164,19 @@ class WorkerAgent:
         Fault injection: after receiving this many RUN frames the agent
         drops the connection without replying (and ``os._exit(1)``-s when
         ``exit_on_crash`` — the ``repro worker`` behaviour, so the whole
-        host dies exactly as a kill would).
+        host dies exactly as a kill would).  Sugar for
+        ``fault_plan=FaultPlan.crash_after(n)``.
+    fault_plan:
+        Full :class:`~repro.resilience.FaultPlan` applied to RUN frames:
+        ``crash`` (drop without replying, stay down), ``disconnect``
+        (sever, then reconnect through :meth:`run_forever` — a flapping
+        host), ``delay`` (sleep ``arg`` seconds before executing — a
+        straggler), ``drop_frame`` (send half of the RESULT frame, then
+        sever — a mid-frame network cut).  The step counter spans
+        reconnects, so one plan describes the host's whole lifetime.
+    fault_log:
+        Callback ``(fault, step)`` observing every fired fault (the CLI
+        prints them to stderr so the chaos harness can assert coverage).
     """
 
     def __init__(
@@ -160,6 +193,8 @@ class WorkerAgent:
         max_payload: int = WORKER_MAX_PAYLOAD,
         crash_after: Optional[int] = None,
         exit_on_crash: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        fault_log=None,
     ) -> None:
         if threads < 1:
             raise ValueError(f"threads must be >= 1, got {threads}")
@@ -174,10 +209,14 @@ class WorkerAgent:
         self.token = token
         self.max_payload = int(max_payload)
         self.last_error: Optional[str] = None
-        self.crash_after = crash_after
         self.exit_on_crash = exit_on_crash
+        if fault_plan is None and crash_after is not None:
+            fault_plan = FaultPlan.crash_after(crash_after)
+        self.fault_plan = fault_plan
+        self._injector = FaultInjector(fault_plan, log=fault_log)
         self.runs_executed = 0
-        self._runs_seen = 0
+        self.reconnects = 0
+        self._registered = False
         self._sock: Optional[socket.socket] = None
         self._stop = threading.Event()
         self._matrices: "OrderedDict[str, CSRMatrix]" = OrderedDict()
@@ -205,9 +244,12 @@ class WorkerAgent:
         so), ``"disconnected"`` (controller went away or desynchronised
         the framing), ``"rejected"`` (controller refused the
         registration — bad token; details in :attr:`last_error`),
+        ``"quarantined"`` (controller's circuit breaker is holding this
+        host name out — retryable, the eventual retry is the probe),
         ``"stopped"`` (:meth:`stop`), or ``"crashed"`` (fault injection
         fired).
         """
+        self._registered = False
         # Warm the JIT kernel cache before taking traffic, exactly as the
         # shm workers do at spawn.
         try:
@@ -219,7 +261,11 @@ class WorkerAgent:
         sock = socket.create_connection(
             self.controller_address, timeout=self.connect_timeout
         )
-        sock.settimeout(None)
+        # Keep the timeout armed through the registration handshake: a
+        # connection that completed in a dying listener's accept backlog
+        # never gets a WELCOME, and an unbounded wait would wedge the
+        # agent there forever.  Cleared once admitted — an idle worker
+        # legitimately blocks between RUNs.
         self._sock = sock
         rfile = sock.makefile("rb")
         try:
@@ -240,11 +286,17 @@ class WorkerAgent:
             if opcode == OP_ERROR:
                 meta, _ = decode_payload(payload)
                 self.last_error = str(meta.get("error", "registration rejected"))
+                # 503 = quarantined (transient, the breaker will probe us
+                # back in); anything else (403 bad token) is terminal.
+                if int(meta.get("status", 0)) == 503:
+                    return "quarantined"
                 return "rejected"
             if opcode != OP_WELCOME:
                 raise ProtocolError(
                     f"expected WELCOME, got opcode 0x{opcode:02x}"
                 )
+            sock.settimeout(None)
+            self._registered = True
             return self._serve_loop(sock, rfile)
         except (ProtocolError, ConnectionError, OSError):
             # ProtocolError (bad magic/version, oversized frame, garbage
@@ -262,13 +314,32 @@ class WorkerAgent:
             except OSError:
                 pass
 
-    def run_forever(self, reconnect_delay: float = 1.0) -> str:
+    def run_forever(
+        self,
+        reconnect_delay: float = 1.0,
+        *,
+        retry: Optional[RetryPolicy] = None,
+    ) -> str:
         """Serve, reconnecting after controller restarts, until stopped.
+
+        Reconnects back off exponentially with jitter under ``retry``
+        (default: a :class:`~repro.resilience.RetryPolicy` with
+        ``reconnect_delay`` as the base, seeded from the host name so a
+        restarted fleet de-correlates instead of thundering back in
+        lockstep).  A session that actually registered resets the
+        backoff — only consecutive failures escalate.
 
         Returns the terminal reason (:meth:`serve`'s vocabulary); a
         rejected registration is terminal — retrying a bad token would
-        just hammer the controller.
+        just hammer the controller — while ``"quarantined"`` keeps
+        backing off (the eventual reconnect is the breaker's probe).
         """
+        policy = retry or RetryPolicy(
+            base_delay=reconnect_delay,
+            max_delay=max(30.0, reconnect_delay),
+            seed=seed_from_name(self.name),
+        )
+        state = None
         while not self._stop.is_set():
             try:
                 reason = self.serve()
@@ -280,8 +351,13 @@ class WorkerAgent:
             # tracks loaded keys per connection and will re-ship; dropping
             # our cache keeps both sides' views consistent.
             self._matrices.clear()
-            if self._stop.wait(reconnect_delay):
-                return "stopped"
+            if self._registered:
+                state = None  # healthy session: next failure starts fresh
+            if state is None:
+                state = policy.start(salt=self.reconnects)
+            self.reconnects += 1
+            if not state.sleep(interrupt=self._stop):
+                return "stopped" if self._stop.is_set() else reason
         return "stopped"
 
     # ------------------------------------------------------------------ #
@@ -317,18 +393,11 @@ class WorkerAgent:
                     self._matrices.pop(str(meta["key"]), None)
                     reply(OP_RESULT, request_id, {})
                 elif opcode == OP_RUN:
-                    self._runs_seen += 1
-                    if (
-                        self.crash_after is not None
-                        and self._runs_seen >= self.crash_after
-                    ):
-                        if self.exit_on_crash:  # pragma: no cover - subprocess
-                            os._exit(1)
-                        try:
-                            sock.shutdown(socket.SHUT_RDWR)
-                        except OSError:
-                            pass
-                        return "crashed"
+                    fault = self._injector.step()
+                    if fault is not None:
+                        outcome = self._inject_fault(fault, sock)
+                        if outcome is not None:
+                            return outcome
                     key = str(meta["key"])
                     A = self._matrices.get(key)
                     if A is None:
@@ -381,6 +450,35 @@ class WorkerAgent:
                 except (ConnectionError, OSError):
                     return "disconnected"
         return "stopped"
+
+    def _inject_fault(
+        self, fault: Fault, sock: socket.socket
+    ) -> Optional[str]:
+        """Fire one scheduled fault; returns the serve-loop outcome, or
+        ``None`` when the RUN should still execute (``delay``)."""
+        if fault.kind == "delay":
+            # Straggler: stall, then answer normally (and correctly).
+            self._stop.wait(fault.arg)
+            return None
+        if fault.kind == "drop_frame":
+            # Mid-frame network cut: ship half of a RESULT frame, sever.
+            frame = WORKER_CODEC.pack_frame(
+                OP_RESULT, 0, encode_payload({"w0": 0, "w1": 0})
+            )
+            try:
+                sock.sendall(frame[: max(1, len(frame) // 2)])
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            return "disconnected"
+        # crash / disconnect: drop the connection without replying.
+        if fault.kind == "crash" and self.exit_on_crash:  # pragma: no cover
+            os._exit(1)
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        return "crashed" if fault.kind == "crash" else "disconnected"
 
     def _execute(
         self, A: CSRMatrix, meta: dict, arrays: Dict[str, np.ndarray]
@@ -445,6 +543,7 @@ class _RemoteHost:
         self.loaded: set = set()
         self.alive = True
         self.runs = 0
+        self.strikes = 0
         self._next_id = 1
 
     def next_request_id(self) -> int:
@@ -483,6 +582,41 @@ def _contiguous_chunks(
     return chunks
 
 
+class _ChunkJob:
+    """One contiguous chunk of a dispatch round — the unit of hedging.
+
+    The chunk's row ranges may be completed by its host *or* by an
+    in-parent hedge; ``lock`` serialises the two so exactly one writes
+    ``Z`` and claims ``winner`` (both compute bitwise-identical bytes,
+    the lock just makes "first completion wins" observable).
+    """
+
+    __slots__ = (
+        "assignments",
+        "parts",
+        "nnz",
+        "lock",
+        "done",
+        "winner",
+        "started_at",
+        "hedged",
+    )
+
+    def __init__(self, assignments: Sequence[ShardAssignment]) -> None:
+        self.assignments = list(assignments)
+        self.parts = [
+            [int(p.start), int(p.stop), int(p.nnz)]
+            for a in assignments
+            for p in a.parts
+        ]
+        self.nnz = sum(a.nnz for a in assignments)
+        self.lock = threading.Lock()
+        self.done = False
+        self.winner: Optional[str] = None
+        self.started_at: Optional[float] = None
+        self.hedged = False
+
+
 class RemoteController:
     """Admits remote worker hosts and routes shard groups across them.
 
@@ -506,11 +640,30 @@ class RemoteController:
         host: str = "127.0.0.1",
         port: int = 0,
         heartbeat_s: float = 2.0,
+        heartbeat_strikes: int = 3,
+        ping_timeout_s: float = _PING_TIMEOUT,
         timeout: float = 60.0,
         token: Optional[str] = None,
         max_payload: int = WORKER_MAX_PAYLOAD,
+        failure_threshold: int = 3,
+        failure_window_s: float = 30.0,
+        quarantine_s: float = 5.0,
+        hedge: bool = True,
+        hedge_quantile: float = 0.9,
+        hedge_factor: float = 4.0,
+        hedge_min_s: float = 0.25,
+        hedge_min_samples: int = 3,
+        min_run_timeout_s: float = 5.0,
+        timeout_slack: float = 8.0,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
+        if heartbeat_strikes < 1:
+            raise ValueError(
+                f"heartbeat_strikes must be >= 1, got {heartbeat_strikes}"
+            )
         self.heartbeat_s = heartbeat_s
+        self.heartbeat_strikes = int(heartbeat_strikes)
+        self.ping_timeout_s = float(ping_timeout_s)
         self.timeout = timeout
         #: Shared secret every REGISTER must carry (constant-time
         #: compared).  ``None`` admits any peer — acceptable on the
@@ -518,6 +671,30 @@ class RemoteController:
         #: cross-machine interface.
         self.token = token
         self.max_payload = int(max_payload)
+        #: Circuit breaker keyed by host *name*: a flapper re-registers
+        #: under a fresh host_id but the same name, so the breaker still
+        #: recognises it and holds it out after K losses in the window.
+        self.health = HealthTracker(
+            failure_threshold=failure_threshold,
+            failure_window_s=failure_window_s,
+            quarantine_s=quarantine_s,
+        )
+        self.hedge = bool(hedge)
+        self.hedge_quantile = float(hedge_quantile)
+        self.hedge_factor = float(hedge_factor)
+        self.hedge_min_s = float(hedge_min_s)
+        self.hedge_min_samples = int(hedge_min_samples)
+        self.min_run_timeout_s = float(min_run_timeout_s)
+        self.timeout_slack = float(timeout_slack)
+        self._injector = FaultInjector(fault_plan) if fault_plan else None
+        #: Observed seconds-per-nnz of completed RUNs — feeds both the
+        #: nnz-scaled per-RUN reply timeouts and the hedge deadlines.
+        self._nnz_samples: "deque[float]" = deque(maxlen=128)
+        self._samples_lock = threading.Lock()
+        self._hedge_configs: Dict[tuple, object] = {}
+        self._hedge_exec = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-remote-hedge"
+        )
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, int(port)))
@@ -533,6 +710,10 @@ class RemoteController:
         self.batches = 0
         self.retries = 0
         self.parent_fallbacks = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.hedge_errors = 0
+        self.registrations_rejected = 0
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="repro-remote-accept", daemon=True
         )
@@ -550,6 +731,18 @@ class RemoteController:
             try:
                 sock, address = self._listener.accept()
             except OSError:
+                return
+            if self._closed.is_set():
+                # Accepted while shutting down (including the wake-up
+                # connection ``close()`` makes).  Never admit: a WELCOME
+                # from a dying controller would wedge the agent in a
+                # serve loop nobody drives.  Sever so it retries and
+                # lands on the replacement controller instead.
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                sock.close()
                 return
             try:
                 sock.settimeout(self.timeout)
@@ -580,7 +773,32 @@ class RemoteController:
                         )
                     )
                     raise ConnectionError("agent rejected: bad token")
+                peer_name = str(meta.get("name", ""))
+                if peer_name and not self.health.allow(peer_name):
+                    # Circuit open: a flapping host does not get back in
+                    # just by reconnecting.  503 tells the agent this is
+                    # transient (back off and retry — the retry that
+                    # lands after the quarantine period is the probe).
+                    self.registrations_rejected += 1
+                    sock.sendall(
+                        WORKER_CODEC.pack_frame(
+                            OP_ERROR,
+                            0,
+                            error_payload(
+                                503,
+                                f"host {peer_name!r} is quarantined after "
+                                "repeated failures; retry later",
+                            ),
+                        )
+                    )
+                    raise ConnectionError("agent rejected: quarantined")
                 with self._hosts_lock:
+                    if self._closed.is_set():
+                        # close() ran while this handshake was in
+                        # flight; its record sweep is done, so admitting
+                        # now would welcome the agent into a dead
+                        # controller.  Sever instead (the except arm).
+                        raise ConnectionError("controller shutting down")
                     host_id = self._next_host_id
                     self._next_host_id += 1
                     record = _RemoteHost(
@@ -619,16 +837,34 @@ class RemoteController:
                     continue  # mid-exchange; that path handles failures
                 try:
                     self._request(
-                        record, OP_PING, {}, None, reply_timeout=_PING_TIMEOUT
+                        record,
+                        OP_PING,
+                        {},
+                        None,
+                        reply_timeout=self.ping_timeout_s,
                     )
+                except socket.timeout:
+                    # Slow, not provably gone (a GC pause, a CPU spike):
+                    # one strike.  The host's eventual late reply is
+                    # skipped as stale by ``_request``, so a recovered
+                    # host resynchronises instead of being evicted.
+                    record.strikes += 1
+                    if record.strikes >= self.heartbeat_strikes:
+                        self._mark_lost(
+                            record,
+                            f"missed {record.strikes} heartbeats",
+                        )
                 except (
                     WorkerCrashError,
                     ProtocolError,
                     ConnectionError,
                     OSError,
-                    socket.timeout,
                 ):
-                    self._mark_lost(record, "missed heartbeat")
+                    # EOF/reset/desync: the connection is gone for real —
+                    # no strike count rescues a dead socket.
+                    self._mark_lost(record, "heartbeat connection failure")
+                else:
+                    record.strikes = 0
                 finally:
                     record.lock.release()
 
@@ -640,6 +876,7 @@ class RemoteController:
             self._hosts.pop(record.host_id, None)
             self.hosts_lost += 1
         record.close()
+        self.health.record_failure(record.name)
 
     def live_hosts(self) -> List[_RemoteHost]:
         with self._hosts_lock:
@@ -688,8 +925,14 @@ class RemoteController:
                 record.rfile, self.max_payload
             )
             if reply_id != rid:
-                # A stale reply (e.g. from a timed-out earlier exchange)
-                # would desynchronise everything after it; drop the host.
+                if reply_id < rid:
+                    # A late reply to an exchange that timed out earlier
+                    # (e.g. a heartbeat strike).  Request ids are
+                    # monotonic per host, so it cannot belong to any
+                    # future exchange: skip it and keep reading.
+                    continue
+                # A reply from the *future* means the framing is
+                # desynchronised beyond repair; drop the host.
                 raise ConnectionError(
                     f"out-of-order reply {reply_id} (expected {rid})"
                 )
@@ -715,23 +958,60 @@ class RemoteController:
         self._request(record, OP_LOAD, meta, arrays)
         record.loaded.add(key)
 
+    def _sec_per_nnz(self, quantile: float) -> Optional[float]:
+        """A quantile of the observed seconds-per-nnz throughput samples."""
+        with self._samples_lock:
+            if len(self._nnz_samples) < self.hedge_min_samples:
+                return None
+            samples = sorted(self._nnz_samples)
+        return samples[min(len(samples) - 1, int(quantile * len(samples)))]
+
+    def _run_timeout(self, nnz: int) -> float:
+        """Reply window for a RUN shipping ``nnz`` — scaled by observed
+        throughput so stragglers on small jobs are detected in seconds,
+        not after the fixed 60 s worst-case cap."""
+        rate = self._sec_per_nnz(0.9)
+        if rate is None:
+            return self.timeout
+        predicted = rate * max(nnz, 1) * self.timeout_slack
+        return min(self.timeout, max(self.min_run_timeout_s, predicted))
+
+    def _hedge_deadline_s(self, nnz: int) -> Optional[float]:
+        """How long a chunk may stay outstanding before it is hedged
+        (``None`` while disabled or the throughput history is cold)."""
+        if not self.hedge:
+            return None
+        rate = self._sec_per_nnz(self.hedge_quantile)
+        if rate is None:
+            return None
+        predicted = rate * max(nnz, 1) * self.hedge_factor
+        return min(self.timeout, max(self.hedge_min_s, predicted))
+
     def _run_group(
         self,
         record: _RemoteHost,
         key: str,
         A: CSRMatrix,
         spec_meta: dict,
-        group: Sequence[ShardAssignment],
+        job: _ChunkJob,
         X: Optional[np.ndarray],
         Y: Optional[np.ndarray],
         Z: np.ndarray,
     ) -> None:
-        """Execute one host's contiguous shard group, writing into ``Z``."""
-        parts = [
-            [int(p.start), int(p.stop), int(p.nnz)]
-            for a in group
-            for p in a.parts
-        ]
+        """Execute one contiguous chunk on ``record``, writing into ``Z``."""
+        if self._injector is not None:
+            fault = self._injector.step()
+            if fault is not None:
+                if fault.kind == "delay":
+                    time.sleep(fault.arg)
+                else:
+                    # Simulate a partition from the controller's side of
+                    # the wire: the dispatch path marks the host lost and
+                    # the normal retry machinery takes over.
+                    raise ConnectionError(
+                        f"injected controller fault {fault.kind!r}"
+                    )
+        parts = job.parts
         meta = {
             "key": key,
             "spec": spec_meta,
@@ -743,27 +1023,34 @@ class RemoteController:
             arrays["x"] = np.asarray(X)
         if Y is not None and Y is not X:
             arrays["y"] = np.asarray(Y)
+        run_timeout = self._run_timeout(job.nnz)
         with record.lock:
             if not record.alive:
                 raise ConnectionError(f"host {record.name!r} already lost")
             self._ensure_loaded(record, key, A)
+            started = time.monotonic()
             reply_meta, reply_arrays = self._request(
-                record, OP_RUN, meta, arrays
+                record, OP_RUN, meta, arrays, reply_timeout=run_timeout
             )
             if reply_meta.get("missing_key"):
                 # Evicted agent-side between our LOAD bookkeeping and the
                 # RUN (LRU pressure): re-ship once and retry.
                 record.loaded.discard(key)
                 self._ensure_loaded(record, key, A)
+                started = time.monotonic()
                 reply_meta, reply_arrays = self._request(
-                    record, OP_RUN, meta, arrays
+                    record, OP_RUN, meta, arrays, reply_timeout=run_timeout
                 )
                 if reply_meta.get("missing_key"):
                     raise WorkerError(
                         f"remote worker {record.name!r} cannot hold matrix "
                         f"{key!r} (matrix_cache too small?)"
                     )
+            elapsed = time.monotonic() - started
             record.runs += 1
+        with self._samples_lock:
+            self._nnz_samples.append(elapsed / max(job.nnz, 1))
+        self.health.record_success(record.name)
         w0, w1 = int(reply_meta["w0"]), int(reply_meta["w1"])
         block = reply_arrays["z"]
         if block.shape != (w1 - w0, Z.shape[1]):
@@ -775,8 +1062,75 @@ class RemoteController:
         # group with a row gap (possible on retry re-routing) comes back
         # as a block zero-filled over [w0, w1); a full-span write would
         # overwrite rows other hosts already completed with those zeros.
-        for start, stop, _nnz in parts:
-            Z[start:stop] = block[start - w0 : stop - w0]
+        # The chunk lock makes "first completion wins" exact when a
+        # hedge raced us — both sides compute identical bytes, but only
+        # the winner writes and claims the chunk.
+        with job.lock:
+            if job.done:
+                return
+            for start, stop, _nnz in parts:
+                Z[start:stop] = block[start - w0 : stop - w0]
+            job.done = True
+            job.winner = record.name
+
+    def _hedge_job(
+        self,
+        job: _ChunkJob,
+        A: CSRMatrix,
+        spec_meta: dict,
+        X: Optional[np.ndarray],
+        Y: Optional[np.ndarray],
+        Z: np.ndarray,
+    ) -> None:
+        """Speculatively execute ``job`` in-parent (tail-at-scale hedging).
+
+        Runs through the same :func:`build_worker_config` dispatch the
+        agents use, so the hedge's bytes are identical to the straggler's
+        eventual reply — whichever completes first wins the chunk.
+        Best-effort: a hedge failure leaves the chunk to the primary
+        path and the retry rounds.
+        """
+        try:
+            from ..core.partition import RowPartition
+
+            spec = spec_from_meta(spec_meta)
+            cfg_key = config_cache_key(spec)
+            cfg = self._hedge_configs.get(cfg_key)
+            if cfg is None:
+                cfg = build_worker_config(spec, num_threads=1)
+                self._hedge_configs[cfg_key] = cfg
+            parts = [RowPartition(s, e, n) for s, e, n in job.parts]
+            w0 = min(p.start for p in parts)
+            w1 = max(p.stop for p in parts)
+            d = X.shape[1] if X is not None else Y.shape[1]
+            if X is not None:
+                out_dtype = X.dtype
+            elif np.issubdtype(Y.dtype, np.floating):
+                out_dtype = Y.dtype
+            else:  # pragma: no cover - integer Y normalised by kernels
+                out_dtype = np.dtype(np.float32)
+            block = np.zeros((w1 - w0, d), dtype=out_dtype)
+            cfg.execute(
+                A,
+                X,
+                Y,
+                parts=parts,
+                num_threads=1,
+                block_size=spec["block_size"],
+                strategy=spec["strategy"],
+                out=block,
+                row_offset=w0,
+            )
+            with job.lock:
+                if job.done:
+                    return
+                for start, stop, _nnz in job.parts:
+                    Z[start:stop] = block[start - w0 : stop - w0]
+                job.done = True
+                job.winner = "parent-hedge"
+            self.hedge_wins += 1
+        except Exception:
+            self.hedge_errors += 1
 
     # ------------------------------------------------------------------ #
     # Batch dispatch
@@ -822,17 +1176,30 @@ class RemoteController:
                 total_nnz=sum(a.nnz for a in remaining),
             )
             groups = route_shards(plan, [h.slots for h in hosts])
-            failed: List[ShardAssignment] = []
+            busy = [
+                (record, group)
+                for record, group in zip(hosts, groups)
+                if group
+            ]
+            # One RUN per contiguous chunk: a merged retry group may
+            # span row gaps that other hosts' finished work fills.  Each
+            # chunk is a _ChunkJob — the unit the hedger can steal.
+            host_jobs = [
+                (record, [_ChunkJob(c) for c in _contiguous_chunks(group)])
+                for record, group in busy
+            ]
+            all_jobs = [job for _, jobs in host_jobs for job in jobs]
+            failed_jobs: List[_ChunkJob] = []
             failed_lock = threading.Lock()
 
-            def dispatch(record: _RemoteHost, group: List[ShardAssignment]):
-                # One RUN per contiguous chunk: a merged retry group may
-                # span row gaps that other hosts' finished work fills.
-                chunks = _contiguous_chunks(group)
-                for index, chunk in enumerate(chunks):
+            def dispatch(record: _RemoteHost, jobs: List[_ChunkJob]):
+                for index, job in enumerate(jobs):
+                    if job.done:
+                        continue  # a hedge already completed this chunk
+                    job.started_at = time.monotonic()
                     try:
                         self._run_group(
-                            record, key, A, spec_meta, chunk, X, Y, Z
+                            record, key, A, spec_meta, job, X, Y, Z
                         )
                     except (
                         ProtocolError,
@@ -842,29 +1209,76 @@ class RemoteController:
                     ) as exc:
                         self._mark_lost(record, str(exc))
                         with failed_lock:
-                            for chunk_left in chunks[index:]:
-                                failed.extend(chunk_left)
+                            failed_jobs.extend(jobs[index:])
                         return
 
-            busy = [
-                (record, group)
-                for record, group in zip(hosts, groups)
-                if group
-            ]
-            if len(busy) == 1:
-                dispatch(*busy[0])
-            elif busy:
+            hedge_futures: List = []
+            try:
                 with ThreadPoolExecutor(
-                    max_workers=len(busy),
+                    max_workers=len(host_jobs),
                     thread_name_prefix="repro-remote-dispatch",
                 ) as pool:
-                    for fut in [
-                        pool.submit(dispatch, record, group)
-                        for record, group in busy
-                    ]:
+                    pending = {
+                        pool.submit(dispatch, record, jobs)
+                        for record, jobs in host_jobs
+                    }
+                    while pending:
+                        done, pending = _futures_wait(
+                            pending,
+                            timeout=0.05 if self.hedge else None,
+                        )
+                        for fut in done:
+                            fut.result()
+                        if pending and self.hedge:
+                            self._maybe_hedge(
+                                all_jobs, A, spec_meta, X, Y, Z,
+                                hedge_futures,
+                            )
+            finally:
+                # Never leave a hedge thread writing into Z after this
+                # call returns (or raises): the caller may reuse the
+                # buffer.  Hedges are short local computes.
+                for fut in hedge_futures:
+                    try:
                         fut.result()
-            remaining = failed
+                    except Exception:  # pragma: no cover - defensive
+                        pass
+            # A chunk whose host died may still have been rescued by a
+            # hedge; only genuinely incomplete chunks go to the retry
+            # round.
+            remaining = [
+                a
+                for job in failed_jobs
+                if not job.done
+                for a in job.assignments
+            ]
         return []
+
+    def _maybe_hedge(
+        self,
+        jobs: Sequence[_ChunkJob],
+        A: CSRMatrix,
+        spec_meta: dict,
+        X: Optional[np.ndarray],
+        Y: Optional[np.ndarray],
+        Z: np.ndarray,
+        hedge_futures: List,
+    ) -> None:
+        """Hedge every started, unfinished chunk past its deadline."""
+        now = time.monotonic()
+        for job in jobs:
+            if job.done or job.hedged or job.started_at is None:
+                continue
+            deadline = self._hedge_deadline_s(job.nnz)
+            if deadline is None or now - job.started_at < deadline:
+                continue
+            job.hedged = True
+            self.hedges += 1
+            hedge_futures.append(
+                self._hedge_exec.submit(
+                    self._hedge_job, job, A, spec_meta, X, Y, Z
+                )
+            )
 
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, object]:
@@ -888,34 +1302,61 @@ class RemoteController:
             "batches": self.batches,
             "retries": self.retries,
             "parent_fallbacks": self.parent_fallbacks,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "hedge_errors": self.hedge_errors,
+            "registrations_rejected": self.registrations_rejected,
+            **self.health.stats(),
         }
 
-    def close(self) -> None:
-        """Stop accepting, dismiss agents, close every connection."""
+    def close(self, *, notify: bool = True) -> None:
+        """Stop accepting, dismiss agents, close every connection.
+
+        ``notify=False`` skips the EXIT frames — the connections are just
+        severed, so agents observe a *disconnect* and keep retrying with
+        backoff.  The chaos harness and the restart-recovery tests use
+        this to simulate a controller crash rather than a clean
+        shutdown.
+        """
         if self._closed.is_set():
             return
         self._closed.set()
+        # Closing the listener does NOT wake a thread blocked in
+        # accept() on Linux — the in-flight syscall keeps the listening
+        # socket alive, so the port would keep completing handshakes and
+        # a reconnecting agent could be admitted by this half-dead
+        # controller (and then hang in a serve loop nobody drives).  A
+        # throwaway self-connection forces accept() to return; the loop
+        # re-checks ``_closed`` and exits without admitting anyone.
+        try:
+            wake_host = self.host if self.host not in ("", "0.0.0.0") else "127.0.0.1"
+            wake = socket.create_connection((wake_host, self.port), timeout=0.5)
+            wake.close()
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:
             pass
         for record in self.live_hosts():
             with record.lock:
-                try:
-                    self._request(
-                        record, OP_EXIT, {}, None, reply_timeout=1.0
-                    )
-                except (
-                    WorkerError,
-                    ProtocolError,
-                    ConnectionError,
-                    OSError,
-                    socket.timeout,
-                ):
-                    pass
+                if notify:
+                    try:
+                        self._request(
+                            record, OP_EXIT, {}, None, reply_timeout=1.0
+                        )
+                    except (
+                        WorkerError,
+                        ProtocolError,
+                        ConnectionError,
+                        OSError,
+                        socket.timeout,
+                    ):
+                        pass
                 record.close()
         with self._hosts_lock:
             self._hosts.clear()
+        self._hedge_exec.shutdown(wait=True)
         self._accept_thread.join(timeout=1.0)
         self._heartbeat_thread.join(timeout=self.heartbeat_s + 1.0)
 

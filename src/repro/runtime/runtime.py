@@ -227,7 +227,19 @@ class KernelRuntime:
     remote_heartbeat_s, remote_timeout:
         Liveness cadence for idle hosts and the per-exchange reply
         ceiling after which a host is declared lost and its shards are
-        retried on the survivors.
+        retried on the survivors.  RUN replies additionally get an
+        nnz-scaled window derived from observed throughput, so small
+        jobs detect stragglers long before this worst-case cap.
+    remote_heartbeat_strikes:
+        Consecutive missed heartbeat pings before an idle host is
+        evicted (default 3 — one GC pause is a strike, not a loss).
+    remote_hedge:
+        Straggler hedging: when a dispatched chunk exceeds a
+        quantile-based deadline (derived from observed per-nnz
+        throughput), it is speculatively re-executed in-parent and the
+        first completion wins — bitwise-safe because both sides compute
+        identical row ranges (counters ``hedges``/``hedge_wins`` in
+        ``stats()["remote"]``).
     remote_token:
         Shared secret ``repro worker`` hosts must present to register
         (constant-time compared).  ``None`` admits any peer — fine on
@@ -270,8 +282,10 @@ class KernelRuntime:
         remote_port: Optional[int] = None,
         remote_host: str = "127.0.0.1",
         remote_heartbeat_s: float = 2.0,
+        remote_heartbeat_strikes: int = 3,
         remote_timeout: float = 60.0,
         remote_token: Optional[str] = None,
+        remote_hedge: bool = True,
     ) -> None:
         self.num_threads = num_threads or available_threads()
         self.autotune = autotune
@@ -294,8 +308,10 @@ class KernelRuntime:
         self.remote_port = remote_port
         self.remote_host = remote_host
         self.remote_heartbeat_s = remote_heartbeat_s
+        self.remote_heartbeat_strikes = remote_heartbeat_strikes
         self.remote_timeout = remote_timeout
         self.remote_token = remote_token
+        self.remote_hedge = remote_hedge
         self._workers: Optional[WorkerPool] = None
         self._workers_lock = threading.Lock()
         self._controller: Optional[RemoteController] = None
@@ -378,8 +394,10 @@ class KernelRuntime:
                     host=self.remote_host,
                     port=self.remote_port,
                     heartbeat_s=self.remote_heartbeat_s,
+                    heartbeat_strikes=self.remote_heartbeat_strikes,
                     timeout=self.remote_timeout,
                     token=self.remote_token,
+                    hedge=self.remote_hedge,
                 )
             return self._controller
 

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..errors import DeadlineError, DrainingError, QueueFullError, ServeError
+from ..resilience import RetryPolicy
 from .protocol import array_from_npy, encode_array, npy_bytes
 
 __all__ = [
@@ -75,14 +76,31 @@ def http_error_for_status(status: int, message: str) -> ServeHTTPError:
 
 
 class ServeClient:
-    """One keep-alive connection to a ``repro serve`` instance."""
+    """One keep-alive connection to a ``repro serve`` instance.
+
+    ``retry=`` arms opt-in policy-driven retries: connection-level
+    failures and the transient admission statuses (429 queue-full, 503
+    draining) are retried under the given
+    :class:`~repro.resilience.RetryPolicy` before the error propagates.
+    Safe to enable for kernel/embed traffic because those calls are pure
+    — re-sending a request can never double-apply anything.  The default
+    (``None``) keeps the legacy behaviour: one stale-connection retry,
+    no status retries.
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8571, *, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8571,
+        *,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
+        self.retries_attempted = 0
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------ #
@@ -126,17 +144,48 @@ class ServeClient:
             payload = response.read()
         return response, payload
 
+    #: Transient admission statuses worth retrying under a policy — the
+    #: request was *not* executed (shed at the door), so a retry can
+    #: never duplicate work.
+    _RETRYABLE_STATUSES = frozenset({429, 503})
+
     def _checked(self, method: str, path: str, body=None, headers=None):
-        response, payload = self._request(method, path, body=body, headers=headers)
-        if response.status >= 300:
+        state = self.retry.start() if self.retry is not None else None
+        while True:
             try:
-                message = json.loads(payload).get(
-                    "error", payload.decode("utf-8", "replace")
+                response, payload = self._request(
+                    method, path, body=body, headers=headers
                 )
-            except Exception:
-                message = payload.decode("utf-8", "replace")
-            raise http_error_for_status(response.status, str(message))
-        return response, payload
+            except (http.client.HTTPException, OSError):
+                # _request already burned its single stale-socket retry;
+                # from here only an armed policy keeps trying.
+                if state is None:
+                    raise
+                delay = state.next_delay()
+                if delay is None:
+                    raise
+                self.retries_attempted += 1
+                self.close()
+                time.sleep(delay)
+                continue
+            if response.status >= 300:
+                try:
+                    message = json.loads(payload).get(
+                        "error", payload.decode("utf-8", "replace")
+                    )
+                except Exception:
+                    message = payload.decode("utf-8", "replace")
+                if (
+                    state is not None
+                    and response.status in self._RETRYABLE_STATUSES
+                ):
+                    delay = state.next_delay()
+                    if delay is not None:
+                        self.retries_attempted += 1
+                        time.sleep(delay)
+                        continue
+                raise http_error_for_status(response.status, str(message))
+            return response, payload
 
     # ------------------------------------------------------------------ #
     # Endpoints

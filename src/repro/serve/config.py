@@ -222,6 +222,14 @@ class ServeConfig(RuntimeOptions):
     #: admits any peer — loopback/trusted-network only.  Never reported
     #: by ``describe()``/``/statz``.
     remote_token: Optional[str] = None
+    #: consecutive missed heartbeat pings before the distributed
+    #: controller evicts an idle worker host (see ``repro serve
+    #: --heartbeat-strikes``)
+    heartbeat_strikes: int = 3
+    #: fault-injection schedule applied to incoming requests
+    #: (:meth:`repro.resilience.FaultPlan.from_spec` grammar) — the chaos
+    #: harness's hook; leave ``None`` in production
+    fault_spec: Optional[str] = None
     plan_cache_size: int = 128
     models: Tuple[ModelSpec, ...] = field(default_factory=lambda: DEFAULT_MODELS)
     #: patterns pre-planned against every registered graph at startup
@@ -255,6 +263,10 @@ class ServeConfig(RuntimeOptions):
             raise ShapeError(f"wire_port must be >= 0, got {self.wire_port}")
         if self.remote_port is not None and self.remote_port < 0:
             raise ShapeError(f"remote_port must be >= 0, got {self.remote_port}")
+        if self.heartbeat_strikes < 1:
+            raise ShapeError(
+                f"heartbeat_strikes must be >= 1, got {self.heartbeat_strikes}"
+            )
         names = [m.name for m in self.models]
         if len(set(names)) != len(names):
             raise ShapeError(f"duplicate model names in ServeConfig: {names}")
@@ -279,5 +291,6 @@ class ServeConfig(RuntimeOptions):
             "shard_min_nnz": self.shard_min_nnz,
             "kernel_backend": self.kernel_backend,
             "remote_port": self.remote_port,
+            "heartbeat_strikes": self.heartbeat_strikes,
             "models": [m.name for m in self.models],
         }

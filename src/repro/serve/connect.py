@@ -71,7 +71,7 @@ class Client(Protocol):
     def __exit__(self, *exc_info) -> None: ...
 
 
-def connect(url: str, *, timeout: float = 30.0) -> Client:
+def connect(url: str, *, timeout: float = 30.0, retry=None) -> Client:
     """Open a client for ``url``, choosing the transport by scheme.
 
     ``http://host:port`` returns a
@@ -81,6 +81,11 @@ def connect(url: str, *, timeout: float = 30.0) -> Client:
     listener is configured per deployment via ``ServeConfig.wire_port``).
     Raises :class:`ValueError` for unknown schemes or a missing wire
     port.
+
+    ``retry=`` (a :class:`~repro.resilience.RetryPolicy`) arms opt-in
+    retries on connection failures and transient 429/503 shedding for
+    either transport — safe for this surface because kernel and embed
+    calls are pure.
     """
     parsed = urlsplit(url)
     if parsed.scheme not in CLIENT_SCHEMES:
@@ -93,7 +98,9 @@ def connect(url: str, *, timeout: float = 30.0) -> Client:
     if parsed.scheme == "http":
         from .client import ServeClient
 
-        return ServeClient(host, port or DEFAULT_HTTP_PORT, timeout=timeout)
+        return ServeClient(
+            host, port or DEFAULT_HTTP_PORT, timeout=timeout, retry=retry
+        )
     if port is None:
         raise ValueError(
             f"wire:// URLs must carry an explicit port (got {url!r}); the "
@@ -101,4 +108,4 @@ def connect(url: str, *, timeout: float = 30.0) -> Client:
         )
     from .wire import WireClient
 
-    return WireClient(host, port, timeout=timeout)
+    return WireClient(host, port, timeout=timeout, retry=retry)

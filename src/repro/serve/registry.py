@@ -75,6 +75,7 @@ class ModelRegistry:
             shard_min_nnz=self.config.shard_min_nnz,
             remote_port=self.config.remote_port,
             remote_token=self.config.remote_token,
+            remote_heartbeat_strikes=self.config.heartbeat_strikes,
             # Request plans stay bitwise-exact; the reorder knob only
             # reaches model *training* via ModelSpec.build.
             reorder="none",

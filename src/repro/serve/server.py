@@ -105,6 +105,15 @@ class KernelServer:
         self._connections: "set[asyncio.Task]" = set()
         self._started = time.monotonic()
         self.requests_served = 0
+        #: Shared fault-injection counter for HTTP and wire requests
+        #: (``ServeConfig.fault_spec``) — ``None`` in normal operation.
+        self.fault_injector = None
+        if self.config.fault_spec:
+            from ..resilience import FaultInjector, FaultPlan
+
+            self.fault_injector = FaultInjector(
+                FaultPlan.from_spec(self.config.fault_spec)
+            )
 
     # ------------------------------------------------------------------ #
     @property
@@ -246,6 +255,19 @@ class KernelServer:
                     break
                 if request is None:
                     break
+                if self.fault_injector is not None:
+                    fault = self.fault_injector.step()
+                    if fault is not None:
+                        if fault.kind == "delay":
+                            await asyncio.sleep(fault.arg)
+                        elif fault.kind == "drop_frame":
+                            # A sever mid-status-line: the client sees a
+                            # BadStatusLine, never a parseable response.
+                            writer.write(b"HTTP/1.1 2")
+                            await writer.drain()
+                            break
+                        else:  # crash / disconnect: sever unanswered
+                            break
                 status, body, ctype = await self._dispatch(request)
                 self.requests_served += 1
                 write_http_response(

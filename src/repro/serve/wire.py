@@ -58,6 +58,7 @@ from ..framing import (
     error_from_meta,
     error_payload as _error_payload,
 )
+from ..resilience import RetryPolicy
 from ..runtime import KernelRequest
 from ..sparse import CSRMatrix
 from .config import resolve_deadline_ms
@@ -248,6 +249,25 @@ class WireServer:
                         f"credit limit exceeded ({self.config.wire_credits} "
                         "outstanding requests allowed)"
                     )
+                injector = getattr(self._owner, "fault_injector", None)
+                if injector is not None and injector:
+                    fault = injector.step()
+                    if fault is not None:
+                        if fault.kind == "delay":
+                            await asyncio.sleep(fault.arg)
+                        elif fault.kind == "drop_frame":
+                            # Mid-frame cut: half a response, then sever.
+                            blob = pack_frame(
+                                OP_RESULT,
+                                request_id,
+                                encode_payload({"status": 200}),
+                            )
+                            async with write_lock:
+                                writer.write(blob[: max(1, len(blob) // 2)])
+                                await writer.drain()
+                            break
+                        else:  # crash / disconnect: sever unanswered
+                            break
                 job = asyncio.ensure_future(
                     self._serve_frame(send, opcode, request_id, payload)
                 )
@@ -415,6 +435,17 @@ class WireClient:
     ``recv`` returns ``(request_id, ndarray)`` for results and
     ``(request_id, ServeError)`` for error frames — pipelined callers
     need per-request failures, not an exception that aborts the batch.
+
+    ``retry=`` arms opt-in policy-driven retries on the *convenience*
+    calls (:meth:`kernel`, :meth:`embed`, :meth:`statz`): connection
+    failures reconnect and re-send under the
+    :class:`~repro.resilience.RetryPolicy`, and transient admission
+    errors (429 queue-full, 503 draining) are re-sent after backoff.
+    Safe because those calls are pure.  Explicit pipelining
+    (``send_*``/``recv``) is never retried implicitly — a reconnect
+    would silently drop the other outstanding responses — and a
+    convenience call with other requests still pending raises instead
+    of retrying for the same reason.
     """
 
     def __init__(
@@ -423,13 +454,25 @@ class WireClient:
         port: int = 0,
         *,
         timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.settimeout(timeout)
-        self._rfile = self._sock.makefile("rb")
+        self._address = (host, port)
+        self._timeout = timeout
+        self.retry = retry
+        self.retries_attempted = 0
         self._next_id = 1
         self._pending: "set[int]" = set()
         self._ready: Dict[int, object] = {}
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._dial()
+
+    def _dial(self) -> None:
+        self._sock = socket.create_connection(
+            self._address, timeout=self._timeout
+        )
+        self._sock.settimeout(self._timeout)
+        self._rfile = self._sock.makefile("rb")
         opcode, _, payload = self._read_frame()
         if opcode != OP_HELLO:
             raise ProtocolError(
@@ -440,12 +483,24 @@ class WireClient:
         self.credits = int(meta.get("credits", 1))
         self.max_payload = int(meta.get("max_payload", 64 * 1024 * 1024))
 
+    def _reconnect(self) -> None:
+        """Fresh socket + HELLO; outstanding ids of the dead connection
+        are forgotten (their responses can never arrive)."""
+        try:
+            self.close()
+        except OSError:  # pragma: no cover - teardown race
+            pass
+        self._pending.clear()
+        self._dial()
+
     # ------------------------------------------------------------------ #
     def close(self) -> None:
         try:
-            self._rfile.close()
+            if self._rfile is not None:
+                self._rfile.close()
         finally:
-            self._sock.close()
+            if self._sock is not None:
+                self._sock.close()
 
     def __enter__(self) -> "WireClient":
         return self
@@ -571,23 +626,55 @@ class WireClient:
             self._ready[rid] = value
 
     # ------------------------------------------------------------------ #
+    #: Transient admission statuses worth re-sending under a policy —
+    #: the request was shed at the door, never executed.
+    _RETRYABLE_STATUSES = frozenset({429, 503})
+
+    def _call(self, send_fn) -> object:
+        """Submit-and-wait with the optional retry policy applied."""
+        state = self.retry.start() if self.retry is not None else None
+        need_reconnect = False
+        while True:
+            try:
+                if need_reconnect:
+                    self._reconnect()
+                    need_reconnect = False
+                value = self._wait_for(send_fn())
+            except (ProtocolError, ConnectionError, OSError):
+                if state is None or len(self._pending) > 1:
+                    # No policy, or other pipelined requests would lose
+                    # their responses in a reconnect: propagate.
+                    raise
+                delay = state.next_delay()
+                if delay is None:
+                    raise
+                self.retries_attempted += 1
+                need_reconnect = True
+                time.sleep(delay)
+                continue
+            if isinstance(value, Exception):
+                status = getattr(value, "http_status", None)
+                if (
+                    state is not None
+                    and status in self._RETRYABLE_STATUSES
+                ):
+                    delay = state.next_delay()
+                    if delay is not None:
+                        self.retries_attempted += 1
+                        time.sleep(delay)
+                        continue
+                raise value
+            return value
+
     def kernel(self, **kwargs) -> np.ndarray:
         """Submit one kernel request and wait for its result."""
-        value = self._wait_for(self.send_kernel(**kwargs))
-        if isinstance(value, Exception):
-            raise value
-        return value
+        return self._call(lambda: self.send_kernel(**kwargs))
 
     def embed(self, model: str, ids: Optional[object] = None) -> np.ndarray:
         """Fetch rows of a model's servable output matrix."""
-        value = self._wait_for(self.send_embed(model, ids))
-        if isinstance(value, Exception):
-            raise value
-        return value
+        return self._call(lambda: self.send_embed(model, ids))
 
     def statz(self) -> dict:
         """Fetch the server's stats snapshot (mirrors ``GET /statz``)."""
-        value = self._wait_for(self.send_statz())
-        if isinstance(value, Exception):
-            raise value
+        value = self._call(self.send_statz)
         return dict(value.get("statz", {}))

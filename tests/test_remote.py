@@ -78,9 +78,13 @@ def problem():
 class _AgentThread:
     """A WorkerAgent served from a thread (same-process remote host)."""
 
-    def __init__(self, port, **kwargs):
+    def __init__(self, port, *, reconnect_delay=1.0, **kwargs):
         self.agent = WorkerAgent("127.0.0.1", port, **kwargs)
-        self.thread = threading.Thread(target=self.agent.run_forever, daemon=True)
+        self.thread = threading.Thread(
+            target=self.agent.run_forever,
+            kwargs={"reconnect_delay": reconnect_delay},
+            daemon=True,
+        )
         self.thread.start()
 
     def stop(self):
@@ -322,6 +326,203 @@ def test_heartbeat_evicts_dead_idle_host():
         assert controller.hosts_lost >= 1
     finally:
         runtime.close()
+
+
+# ---------------------------------------------------------------------- #
+# Resilience: restart recovery, quarantine, hedging, client retries
+# ---------------------------------------------------------------------- #
+def _free_port():
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def test_controller_restart_agents_rejoin_bitwise(problem):
+    """Sever the controller without the EXIT handshake (a crash, not a
+    shutdown): agents must rejoin the replacement on the same port via
+    their backoff loop — promptly, without a tight reconnect spin — and
+    the next batch must produce the exact bytes."""
+    A, X = problem
+    ref = fusedmm(A, X, X, pattern="sigmoid_embedding", num_threads=1)
+    port = _free_port()
+    runtime = KernelRuntime(num_threads=1, processes=0, remote_port=port)
+    agents = []
+    try:
+        controller = runtime.controller
+        agents = [
+            _AgentThread(port, name=f"r{i}", reconnect_delay=0.05)
+            for i in range(2)
+        ]
+        assert controller.wait_for_hosts(2, timeout=15.0) == 2
+        assert np.array_equal(
+            runtime.run_sharded(A, X, pattern="sigmoid_embedding"), ref
+        )
+        # Simulated controller crash: connections severed, no EXIT.
+        controller.close(notify=False)
+        runtime.close()
+        runtime = KernelRuntime(num_threads=1, processes=0, remote_port=port)
+        assert runtime.controller.wait_for_hosts(2, timeout=15.0) == 2
+        assert np.array_equal(
+            runtime.run_sharded(A, X, pattern="sigmoid_embedding"), ref
+        )
+        # Backoff, not a tight loop: a handful of attempts, not hundreds.
+        for a in agents:
+            assert 1 <= a.agent.reconnects < 50
+    finally:
+        runtime.close()
+        for a in agents:
+            a.stop()
+
+
+def test_flapping_host_quarantined_then_probed(problem):
+    """A host whose every RUN severs the connection must be quarantined
+    by the controller within its failure threshold — while the steady
+    host keeps every batch bitwise — and re-admitted only through a
+    probe once the quarantine period elapses."""
+    from repro.resilience import FaultPlan, HealthTracker
+
+    A, X = problem
+    ref = fusedmm(A, X, X, pattern="sigmoid_embedding", num_threads=1)
+    runtime, agents = _remote_runtime(
+        2,
+        agent_kwargs=(
+            {},
+            {
+                "name": "flapper",
+                "fault_plan": FaultPlan.from_spec("disconnect@1+"),
+                "reconnect_delay": 0.05,
+            },
+        ),
+    )
+    try:
+        controller = runtime.controller
+        # Tighten the breaker so the test is fast: 2 strikes, generous
+        # quarantine (the probe path is unit-tested on a fake clock).
+        controller.health = HealthTracker(
+            failure_threshold=2, failure_window_s=30.0, quarantine_s=60.0
+        )
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            assert np.array_equal(
+                runtime.run_sharded(A, X, pattern="sigmoid_embedding"), ref
+            )
+            if controller.health.state("flapper") == "quarantined":
+                break
+            time.sleep(0.05)
+        assert controller.health.state("flapper") == "quarantined"
+        stats = controller.stats()
+        assert stats["quarantined_hosts"] >= 1
+        assert stats["quarantined_now"] >= 1
+        # The flapper keeps retrying registration and is shed at the
+        # door with a retryable 503 while quarantined.
+        deadline = time.monotonic() + 15.0
+        while (
+            time.monotonic() < deadline
+            and controller.stats()["registrations_rejected"] == 0
+        ):
+            time.sleep(0.05)
+        assert controller.stats()["registrations_rejected"] >= 1
+    finally:
+        _teardown(runtime, agents)
+
+
+def test_hedge_rescues_straggler(problem):
+    """A host stalling on a late RUN (after the controller has throughput
+    samples) is hedged: the chunk is speculatively recomputed in-parent,
+    the first completion wins, and the bytes never change."""
+    from repro.resilience import FaultPlan
+
+    A, X = problem
+    ref = fusedmm(A, X, X, pattern="sigmoid_embedding", num_threads=1)
+    runtime, agents = _remote_runtime(
+        2,
+        agent_kwargs=(
+            {},
+            {"fault_plan": FaultPlan.from_spec("delay@4:2.5")},
+        ),
+    )
+    try:
+        for _ in range(3):  # warm-up: plans, CSR ship, throughput samples
+            assert np.array_equal(
+                runtime.run_sharded(A, X, pattern="sigmoid_embedding"), ref
+            )
+        Z = runtime.run_sharded(A, X, pattern="sigmoid_embedding")
+        assert np.array_equal(Z, ref)
+        remote = runtime.stats()["remote"]
+        assert remote["hedges"] >= 1
+        assert remote["hedge_wins"] >= 1
+        assert remote["hedge_errors"] == 0
+    finally:
+        _teardown(runtime, agents)
+
+
+def test_remote_stats_expose_resilience_counters(problem):
+    runtime, agents = _remote_runtime(1)
+    try:
+        remote = runtime.stats()["remote"]
+        for key in (
+            "retries",
+            "hedges",
+            "hedge_wins",
+            "quarantined_hosts",
+            "quarantined_now",
+            "probes",
+            "registrations_rejected",
+        ):
+            assert key in remote, key
+    finally:
+        _teardown(runtime, agents)
+
+
+def test_serve_client_retries_through_injected_faults(problem):
+    """HTTP and wire clients armed with a RetryPolicy ride out
+    request-level disconnect faults injected server-side; every answered
+    response is bitwise."""
+    from repro.resilience import RetryPolicy
+    from repro.serve import BackgroundServer, ServeConfig, connect
+
+    A, X = problem
+    ref = fusedmm(A, X, X, pattern="sigmoid_embedding", num_threads=1)
+    config = ServeConfig(
+        port=0, wire_port=0, models=(), fault_spec="disconnect@2,drop_frame@5"
+    )
+    policy = RetryPolicy(base_delay=0.02, max_delay=0.2, max_attempts=8, seed=1)
+    with BackgroundServer(config) as server:
+        with connect(
+            f"http://127.0.0.1:{server.port}", retry=policy
+        ) as http, connect(
+            f"wire://127.0.0.1:{server.wire_port}", retry=policy
+        ) as wire:
+            total_retries = 0
+            for _ in range(4):
+                for client in (http, wire):
+                    Z = client.kernel(graph=A, x=X, pattern="sigmoid_embedding")
+                    assert np.array_equal(Z, ref)
+            total_retries = http.retries_attempted + wire.retries_attempted
+        assert total_retries >= 1
+        assert server.server.fault_injector.kinds_fired()
+
+
+def test_worker_agent_reconnect_uses_backoff_policy():
+    """run_forever's reconnect delay routes through RetryPolicy: a dead
+    controller address never produces a tight spin."""
+    port = _free_port()  # nothing listening
+    agent = WorkerAgent("127.0.0.1", port, name="lonely")
+    thread = threading.Thread(
+        target=agent.run_forever,
+        kwargs={"reconnect_delay": 0.1},
+        daemon=True,
+    )
+    t0 = time.monotonic()
+    thread.start()
+    time.sleep(1.0)
+    agent.stop()
+    thread.join(timeout=10)
+    elapsed = time.monotonic() - t0
+    # With base 0.1 and exponential growth, ~1s admits only a handful of
+    # attempts; a tight loop would rack up thousands.
+    assert 1 <= agent.reconnects <= 12, agent.reconnects
+    assert elapsed < 15.0
 
 
 # ---------------------------------------------------------------------- #

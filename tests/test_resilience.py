@@ -1,0 +1,297 @@
+"""Unit tests for the resilience layer (:mod:`repro.resilience`).
+
+The module is pure stdlib and deliberately socket-free, so everything
+here is deterministic: retry jitter is a pure function of (seed, salt,
+attempt), the circuit breaker runs on an injectable clock, and fault
+plans round-trip through their string spec.
+"""
+
+import threading
+
+import pytest
+
+from repro.resilience import (
+    FAULT_KINDS,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    HealthTracker,
+    RetryPolicy,
+    retry_call,
+    seed_from_name,
+)
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ---------------------------------------------------------------------- #
+# RetryPolicy / RetryState
+# ---------------------------------------------------------------------- #
+def test_seed_from_name_is_stable_and_distinct():
+    assert seed_from_name("w0") == seed_from_name("w0")
+    assert seed_from_name("w0") != seed_from_name("w1")
+    assert 0 <= seed_from_name("anything") < 2**32
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=-1)
+
+
+def test_backoff_grows_exponentially_and_caps():
+    policy = RetryPolicy(base_delay=0.5, max_delay=4.0, multiplier=2.0)
+    assert [policy.backoff(i) for i in range(5)] == [0.5, 1.0, 2.0, 4.0, 4.0]
+
+
+def test_seeded_jitter_is_deterministic_and_bounded():
+    policy = RetryPolicy(base_delay=1.0, max_delay=8.0, jitter=0.5, seed=42)
+    for attempt in range(6):
+        d1 = policy.delay(attempt, salt=3)
+        d2 = policy.delay(attempt, salt=3)
+        assert d1 == d2  # pure function of (seed, salt, attempt)
+        base = policy.backoff(attempt)
+        assert 0.5 * base <= d1 <= 1.5 * base
+    # Salt de-correlates consumers sharing one policy object.
+    assert policy.delay(2, salt=0) != policy.delay(2, salt=1)
+
+
+def test_zero_jitter_equals_backoff():
+    policy = RetryPolicy(base_delay=0.25, jitter=0.0, seed=1)
+    assert policy.delay(3) == policy.backoff(3)
+
+
+def test_retry_state_attempt_budget():
+    policy = RetryPolicy(base_delay=0.0, jitter=0.0, max_attempts=2)
+    state = policy.start()
+    assert state.next_delay() == 0.0
+    assert state.next_delay() == 0.0
+    assert state.next_delay() is None  # budget spent
+    assert state.attempts == 2
+
+
+def test_retry_state_deadline_budget_truncates_then_stops():
+    clock = FakeClock()
+    policy = RetryPolicy(
+        base_delay=4.0, jitter=0.0, multiplier=1.0, deadline_s=6.0
+    )
+    state = policy.start(clock=clock)
+    assert state.next_delay() == 4.0
+    clock.advance(4.0)
+    # 2s of budget left: the 4s backoff is truncated, not overshot.
+    assert state.next_delay() == pytest.approx(2.0)
+    clock.advance(2.0)
+    assert state.next_delay() is None
+
+
+def test_retry_state_sleep_interruptible():
+    policy = RetryPolicy(base_delay=30.0, jitter=0.0)
+    state = policy.start()
+    stop = threading.Event()
+    stop.set()
+    assert state.sleep(interrupt=stop) is False  # returned without waiting
+
+
+def test_retry_call_recovers_then_exhausts():
+    calls = {"n": 0}
+    observed = []
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise ConnectionError("not yet")
+        return "ok"
+
+    policy = RetryPolicy(base_delay=0.0, jitter=0.0, max_attempts=5)
+    result = retry_call(
+        flaky,
+        policy=policy,
+        on_retry=lambda exc, attempt, delay: observed.append(attempt),
+    )
+    assert result == "ok"
+    assert calls["n"] == 3
+    assert observed == [1, 2]
+
+    always = RetryPolicy(base_delay=0.0, jitter=0.0, max_attempts=2)
+    with pytest.raises(ConnectionError):
+        retry_call(lambda: (_ for _ in ()).throw(ConnectionError()), policy=always)
+
+
+def test_retry_call_does_not_catch_unlisted_exceptions():
+    policy = RetryPolicy(base_delay=0.0, jitter=0.0, max_attempts=5)
+
+    def boom():
+        raise ValueError("logic bug")
+
+    with pytest.raises(ValueError):
+        retry_call(boom, policy=policy)
+
+
+# ---------------------------------------------------------------------- #
+# HealthTracker circuit breaker
+# ---------------------------------------------------------------------- #
+def _tracker(clock, **kwargs):
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("failure_window_s", 30.0)
+    kwargs.setdefault("quarantine_s", 5.0)
+    return HealthTracker(clock=clock, **kwargs)
+
+
+def test_health_quarantines_after_threshold_failures():
+    clock = FakeClock()
+    health = _tracker(clock)
+    assert health.allow("w") is True
+    assert health.record_failure("w") is False
+    assert health.record_failure("w") is False
+    assert health.record_failure("w") is True  # third strike
+    assert health.state("w") == "quarantined"
+    assert health.allow("w") is False
+    assert health.stats() == {
+        "quarantined_hosts": 1,
+        "quarantined_now": 1,
+        "probes": 0,
+    }
+
+
+def test_health_failures_outside_window_do_not_count():
+    clock = FakeClock()
+    health = _tracker(clock, failure_window_s=10.0)
+    health.record_failure("w")
+    clock.advance(11.0)  # first failure ages out of the window
+    health.record_failure("w")
+    assert health.record_failure("w") is False
+    assert health.state("w") == "closed"
+
+
+def test_health_probe_readmits_on_success():
+    clock = FakeClock()
+    health = _tracker(clock)
+    for _ in range(3):
+        health.record_failure("w")
+    clock.advance(5.1)  # quarantine period elapses
+    assert health.allow("w") is True  # the single probe admission
+    assert health.state("w") == "probing"
+    assert health.allow("w") is False  # no thundering herd
+    health.record_success("w")
+    assert health.state("w") == "closed"
+    assert health.allow("w") is True
+    assert health.stats()["probes"] == 1
+
+
+def test_health_probe_failure_requarantines():
+    clock = FakeClock()
+    health = _tracker(clock)
+    for _ in range(3):
+        health.record_failure("w")
+    clock.advance(5.1)
+    assert health.allow("w") is True
+    assert health.record_failure("w") is True  # probe failed
+    assert health.state("w") == "quarantined"
+    assert health.allow("w") is False  # fresh quarantine period
+    assert health.stats()["quarantined_hosts"] == 2
+
+
+def test_health_keys_are_independent():
+    clock = FakeClock()
+    health = _tracker(clock)
+    for _ in range(3):
+        health.record_failure("flapper")
+    assert health.allow("flapper") is False
+    assert health.allow("steady") is True
+    assert health.state("steady") == "closed"
+
+
+# ---------------------------------------------------------------------- #
+# Fault / FaultPlan / FaultInjector
+# ---------------------------------------------------------------------- #
+def test_fault_validation():
+    with pytest.raises(ValueError):
+        Fault(kind="meteor", step=1)
+    with pytest.raises(ValueError):
+        Fault(kind="crash", step=0)
+
+
+def test_fault_plan_spec_roundtrip():
+    spec = "delay@2:0.5,drop_frame@4,crash@7+"
+    plan = FaultPlan.from_spec(spec)
+    assert len(plan) == 3
+    assert plan.at(2) == Fault("delay", 2, arg=0.5)
+    assert plan.at(4) == Fault("drop_frame", 4)
+    assert plan.at(3) is None
+    assert FaultPlan.from_spec(plan.to_spec()) == plan
+    assert FaultPlan.from_spec(None) == FaultPlan()
+    assert not FaultPlan.from_spec("")
+
+
+def test_fault_plan_bad_spec_raises():
+    with pytest.raises(ValueError):
+        FaultPlan.from_spec("delay@notanumber")
+    with pytest.raises(ValueError):
+        FaultPlan.from_spec("meteor@3")
+
+
+def test_crash_after_is_sticky():
+    plan = FaultPlan.crash_after(3)
+    assert plan.at(1) is None
+    assert plan.at(2) is None
+    for step in (3, 4, 100):
+        fault = plan.at(step)
+        assert fault is not None and fault.kind == "crash" and fault.sticky
+
+
+def test_exact_fault_beats_sticky():
+    plan = FaultPlan.from_spec("crash@2+,delay@5:0.1")
+    assert plan.at(4).kind == "crash"
+    assert plan.at(5).kind == "delay"  # exact schedule wins at its step
+    assert plan.at(6).kind == "crash"
+
+
+def test_seeded_plan_is_deterministic():
+    a = FaultPlan.seeded(11, steps=50, rate=0.3)
+    b = FaultPlan.seeded(11, steps=50, rate=0.3)
+    c = FaultPlan.seeded(12, steps=50, rate=0.3)
+    assert a == b
+    assert a != c
+    assert a  # rate 0.3 over 50 steps: virtually certain to be non-empty
+    for fault in a.faults:
+        assert fault.kind in FAULT_KINDS
+        assert not fault.sticky  # seeded soaks flap, they don't die forever
+        if fault.kind == "delay":
+            assert 0.05 <= fault.arg <= 0.5
+
+
+def test_seeded_plan_respects_kind_filter():
+    plan = FaultPlan.seeded(3, steps=80, rate=0.5, kinds=("delay",))
+    assert plan.kinds_scheduled() == ("delay",)
+
+
+def test_fault_injector_steps_and_coverage():
+    fired_log = []
+    plan = FaultPlan.from_spec("delay@2:0.1,crash@4+")
+    injector = FaultInjector(plan, log=lambda f, s: fired_log.append((f.kind, s)))
+    assert injector.step() is None  # step 1
+    assert injector.step().kind == "delay"  # step 2
+    assert injector.step() is None  # step 3
+    assert injector.step().kind == "crash"  # step 4
+    assert injector.step().kind == "crash"  # step 5: sticky keeps firing
+    assert injector.steps == 5
+    assert injector.kinds_fired() == ("crash", "delay")
+    assert fired_log == [("delay", 2), ("crash", 4), ("crash", 5)]
+    assert bool(injector)
+    assert not FaultInjector(FaultPlan())
