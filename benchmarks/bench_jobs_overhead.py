@@ -1,0 +1,115 @@
+"""Benchmark: checkpoint overhead of durable training jobs.
+
+Runs :func:`repro.bench.jobs_bench.bench_checkpoint_overhead` — each app
+trained bare and with per-epoch durable checkpoints — and gates on the
+repo's acceptance criteria:
+
+* ``overhead_frac <= 0.10``: one durable save costs at most 10% of one
+  epoch on the default workload (harvard for the embedding/layout apps,
+  pubmed for GCN);
+* ``bitwise_identical``: checkpointing every epoch does not perturb the
+  final output by a single bit.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_jobs_overhead.py [--quick] [--json PATH]
+
+or via the CLI: ``python -m repro bench jobs``.  ``--json`` writes a
+machine-readable ``BENCH_jobs.json`` via :mod:`repro.bench.record`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench.jobs_bench import (  # noqa: E402
+    DEFAULT_MAX_OVERHEAD,
+    bench_checkpoint_overhead,
+)
+from repro.bench.record import record_benchmark  # noqa: E402
+from repro.bench.tables import format_table  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument("--dim", type=int, default=None)
+    parser.add_argument("--epochs", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--apps",
+        nargs="+",
+        default=["force2vec", "verse", "gcn", "fr_layout"],
+        choices=["force2vec", "verse", "gcn", "fr_layout"],
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=DEFAULT_MAX_OVERHEAD,
+        help="max allowed save-time / epoch-time ratio",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write BENCH_jobs.json-style results to PATH",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="report only; do not fail on missed targets",
+    )
+    args = parser.parse_args(argv)
+
+    nodes = args.nodes or (3_000 if args.quick else 6_000)
+    dim = args.dim or (16 if args.quick else 32)
+    epochs = args.epochs or (3 if args.quick else 4)
+    repeats = args.repeats or (2 if args.quick else 3)
+
+    rows = bench_checkpoint_overhead(
+        nodes=nodes, dim=dim, epochs=epochs, repeats=repeats, apps=args.apps
+    )
+    print(
+        format_table(
+            rows, title="Checkpoint overhead (per-epoch durable saves vs none)"
+        )
+    )
+    if args.json:
+        print(f"wrote {record_benchmark('jobs', rows, path=args.json)}")
+    if args.no_check:
+        return 0
+
+    ok = True
+    for row in rows:
+        if not row["bitwise_identical"]:
+            print(
+                f"FAIL: {row['app']}: checkpointed run diverged bitwise "
+                "from the bare run"
+            )
+            ok = False
+        if row["overhead_frac"] > args.max_overhead:
+            print(
+                f"FAIL: {row['app']}: checkpoint overhead "
+                f"{row['overhead_frac']:.1%} > allowed {args.max_overhead:.0%}"
+            )
+            ok = False
+    if ok:
+        worst = max(rows, key=lambda r: r["overhead_frac"])
+        print(
+            f"OK: all apps bitwise-identical under per-epoch checkpoints; "
+            f"worst overhead {worst['overhead_frac']:.1%} ({worst['app']})"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

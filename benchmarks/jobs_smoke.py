@@ -1,0 +1,218 @@
+"""Jobs smoke: durable training jobs surviving a real server restart.
+
+Drives the actual deployment artifact: ``python -m repro serve`` with a
+``--job-dir``, killed with SIGTERM *while a training job is mid-epoch*,
+then restarted on the same job directory.  Asserts:
+
+* ``POST /v1/train`` admits the job (202) and ``GET /v1/jobs/<id>``
+  streams per-epoch progress;
+* SIGTERM mid-training drains gracefully: the in-flight job is
+  checkpointed and persisted, the process exits with the goodbye line;
+* the restarted server recovers the job from ``job.json`` + checkpoint
+  and finishes the remaining epochs (``resumed_from > 0``);
+* the final output is **bitwise identical** to an uninterrupted local
+  reference run of the same spec — the durability contract end to end;
+* ``/statz`` jobs counters satisfy the accounting invariant
+  ``submitted == completed + failed + cancelled`` once the job is done.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/jobs_smoke.py
+
+Used by the CI ``jobs-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.jobs import JobSpec, run_training  # noqa: E402
+from repro.serve import ServeClient, wait_until_healthy  # noqa: E402
+
+HOST = "127.0.0.1"
+PORT = 8767
+
+#: Long enough that SIGTERM reliably lands mid-training (~20 epochs at
+#: tens of ms each), short enough to keep the smoke under a minute.
+SPEC = dict(
+    app="force2vec",
+    dataset="harvard",
+    scale=1.0,
+    dim=16,
+    epochs=20,
+    seed=3,
+    checkpoint_every=1,
+)
+
+
+def _spawn(job_dir: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            HOST,
+            "--port",
+            str(PORT),
+            "--models",
+            "cora",
+            "--scale",
+            "0.05",
+            "--job-dir",
+            job_dir,
+        ],
+        cwd=_ROOT,
+        env={**os.environ, "PYTHONPATH": str(_SRC)},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _drain(proc: subprocess.Popen, failures: list) -> str:
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+    try:
+        out, _ = proc.communicate(timeout=120)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        out, _ = proc.communicate()
+        failures.append("server did not drain within 120s of SIGTERM")
+    if "drained, bye" not in (out or ""):
+        failures.append(f"no graceful-drain goodbye in server output:\n{out}")
+    return out or ""
+
+
+def main() -> int:
+    failures: list = []
+    job_dir = tempfile.mkdtemp(prefix="repro-jobs-smoke-")
+
+    proc = _spawn(job_dir)
+    try:
+        if not wait_until_healthy(HOST, PORT, timeout=120.0):
+            print(proc.stdout.read() if proc.stdout else "")
+            print("FAIL: server never became healthy", file=sys.stderr)
+            return 1
+        print("healthz: ok")
+
+        with ServeClient(HOST, PORT, timeout=30.0) as client:
+            doc = client.train(**SPEC)
+            job_id = doc["job_id"]
+            print(f"submitted {job_id} ({doc['state']})")
+
+            # Wait until training is demonstrably under way, then kill.
+            deadline = time.monotonic() + 60.0
+            epochs_done = 0
+            while time.monotonic() < deadline:
+                status = client.job(job_id)
+                epochs_done = status.get("epochs_done", 0)
+                if epochs_done >= 2:
+                    break
+                if status["state"] in ("completed", "failed", "cancelled"):
+                    failures.append(
+                        f"job reached {status['state']} before the kill "
+                        f"(epochs_done={epochs_done}) - workload too small"
+                    )
+                    break
+                time.sleep(0.05)
+            else:
+                failures.append("job never reached epoch 2 within 60s")
+        print(f"SIGTERM at epochs_done={epochs_done}")
+        _drain(proc, failures)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+
+    # ------------------------------------------------------------------ #
+    # Restart on the same job dir: the job must resume and finish.
+    # ------------------------------------------------------------------ #
+    proc = _spawn(job_dir)
+    try:
+        if not wait_until_healthy(HOST, PORT, timeout=120.0):
+            print(proc.stdout.read() if proc.stdout else "")
+            print("FAIL: restarted server never became healthy", file=sys.stderr)
+            return 1
+
+        with ServeClient(HOST, PORT, timeout=30.0) as client:
+            deadline = time.monotonic() + 120.0
+            status = {}
+            while time.monotonic() < deadline:
+                status = client.job(job_id)
+                if status["state"] in ("completed", "failed", "cancelled"):
+                    break
+                time.sleep(0.1)
+            if status.get("state") != "completed":
+                failures.append(f"job did not complete after restart: {status}")
+            resumed_from = status.get("resumed_from")
+            if not resumed_from:
+                failures.append(
+                    f"job did not resume from a checkpoint: {status}"
+                )
+            else:
+                print(
+                    f"resumed from epoch {resumed_from}, "
+                    f"completed {status['epochs_done']}/{SPEC['epochs']}"
+                )
+            result = client.job_result(job_id)
+
+            stats = client.statz().get("jobs") or {}
+            accounted = (
+                stats.get("completed", 0)
+                + stats.get("failed", 0)
+                + stats.get("cancelled", 0)
+            )
+            if stats.get("submitted") != accounted:
+                failures.append(
+                    f"jobs accounting broken: submitted={stats.get('submitted')}"
+                    f" != completed+failed+cancelled={accounted} ({stats})"
+                )
+            if not stats.get("checkpoints_written"):
+                failures.append(f"no checkpoints recorded in stats: {stats}")
+        _drain(proc, failures)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    # Bitwise comparison against an uninterrupted local reference.
+    reference = run_training(JobSpec(**SPEC)).output
+    if not (
+        np.array_equal(result, reference) and result.dtype == reference.dtype
+    ):
+        failures.append(
+            "resumed job output is not bitwise-identical to the "
+            "uninterrupted reference run"
+        )
+    else:
+        print(f"bitwise resume verified: {result.shape} {result.dtype}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("jobs smoke: submit, SIGTERM mid-training, restart, bitwise resume")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

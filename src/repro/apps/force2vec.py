@@ -270,6 +270,44 @@ class Force2Vec:
         return self.embeddings.astype(np.float32)
 
     # ------------------------------------------------------------------ #
+    # Checkpointable state
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict:
+        """Everything needed to continue training bitwise-identically:
+        the embeddings, the completed-epoch count, the negative sampler's
+        generator state (stateful across epochs — the minibatch order is a
+        pure function of ``seed + epoch`` and needs no persisting) and the
+        epoch history.  Arrays are returned as copies; the rest is
+        JSON-able, so the dict drops straight into a checkpoint."""
+        from dataclasses import asdict
+
+        return {
+            "embeddings": self.embeddings.copy(),
+            "epochs_completed": len(self.history),
+            "sampler_state": self._sampler.get_state(),
+            "history": [asdict(s) for s in self.history],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`export_state` snapshot; the next
+        :meth:`train_epoch` continues exactly where the snapshot left off
+        (same dtype, same sampler stream position)."""
+        embeddings = np.asarray(state["embeddings"])
+        if embeddings.shape != self.embeddings.shape:
+            raise ShapeError(
+                f"state embeddings shape {embeddings.shape} does not match "
+                f"model shape {self.embeddings.shape}"
+            )
+        self.embeddings = embeddings.copy()
+        self._sampler.set_state(state["sampler_state"])
+        self.history = [EpochStats(**s) for s in state.get("history", [])]
+
+    @property
+    def epochs_completed(self) -> int:
+        """Epochs trained so far (the resume point of a checkpoint)."""
+        return len(self.history)
+
+    # ------------------------------------------------------------------ #
     def runtime_stats(self) -> dict:
         """The trainer's :meth:`KernelRuntime.stats` snapshot — plan-cache
         hit rate, scheduling counters, shard-tier state."""

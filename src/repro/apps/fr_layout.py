@@ -99,6 +99,11 @@ class FRLayout:
             reorder=self.config.reorder,
         )
         self.iteration_seconds: List[float] = []
+        #: Current cooling temperature.  Persistent state, not recomputed:
+        #: repeated ``t *= cooling`` differs bitwise from
+        #: ``initial * cooling**k``, so a resumed run must restore the
+        #: accumulated product, never re-derive it from the iteration count.
+        self.temperature: float = self.config.initial_temperature
 
     # ------------------------------------------------------------------ #
     def runtime_stats(self) -> dict:
@@ -161,14 +166,58 @@ class FRLayout:
         self.positions -= limited
         return float(np.mean(norms))
 
+    def train_epoch(self, iteration: int = 0) -> float:
+        """One cooling-schedule iteration: step at the current temperature,
+        then cool.  The uniform per-epoch surface the job supervisor
+        drives; returns the mean displacement norm."""
+        norm = self.step(self.temperature)
+        self.temperature *= self.config.cooling
+        return norm
+
     def run(self, iterations: Optional[int] = None) -> np.ndarray:
-        """Run the full cooling schedule and return final positions."""
+        """Run the full cooling schedule and return final positions.
+
+        Each call restarts the schedule from ``initial_temperature``
+        (resumable runs go through :meth:`train_epoch` +
+        :meth:`export_state` instead)."""
         iterations = self.config.iterations if iterations is None else iterations
-        temperature = self.config.initial_temperature
-        for _ in range(iterations):
-            self.step(temperature)
-            temperature *= self.config.cooling
+        self.temperature = self.config.initial_temperature
+        for i in range(iterations):
+            self.train_epoch(i)
         return self.positions.astype(np.float32)
+
+    # ------------------------------------------------------------------ #
+    # Checkpointable state
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict:
+        """Positions + iteration count + the accumulated temperature + the
+        repulsive sampler's stream position — the full bitwise-resume
+        state of the cooling schedule."""
+        return {
+            "positions": self.positions.copy(),
+            "epochs_completed": len(self.iteration_seconds),
+            "temperature": self.temperature,
+            "sampler_state": self._sampler.get_state(),
+            "iteration_seconds": list(self.iteration_seconds),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore an :meth:`export_state` snapshot bitwise."""
+        positions = np.asarray(state["positions"])
+        if positions.shape != self.positions.shape:
+            raise ShapeError(
+                f"state positions shape {positions.shape} does not match "
+                f"model shape {self.positions.shape}"
+            )
+        self.positions = positions.copy()
+        self.temperature = float(state["temperature"])
+        self._sampler.set_state(state["sampler_state"])
+        self.iteration_seconds = list(state.get("iteration_seconds", []))
+
+    @property
+    def epochs_completed(self) -> int:
+        """Iterations run so far (the resume point of a checkpoint)."""
+        return len(self.iteration_seconds)
 
     # ------------------------------------------------------------------ #
     def edge_length_stats(self) -> dict:

@@ -196,14 +196,8 @@ class GCN:
         dW1 = cache["AX"].T @ dZ1 + self.config.weight_decay * self.W1
         return loss, dW1, dW2
 
-    def fit(
-        self,
-        labels: Optional[np.ndarray] = None,
-        train_mask: Optional[np.ndarray] = None,
-        *,
-        epochs: Optional[int] = None,
-    ) -> List[Dict[str, float]]:
-        """Train with full-batch gradient descent; returns per-epoch stats."""
+    def _resolve_targets(self, labels, train_mask):
+        """Validate and default the (labels, mask) pair fit/train_epoch use."""
         labels = self.graph.labels if labels is None else np.asarray(labels, dtype=np.int64)
         if labels is None:
             raise ShapeError("GCN.fit requires labels")
@@ -213,24 +207,79 @@ class GCN:
         train_mask = np.asarray(train_mask, dtype=bool)
         if train_mask.shape != (n,):
             raise ShapeError(f"train_mask must have shape ({n},)")
+        return labels, train_mask
+
+    def train_epoch(
+        self,
+        epoch: int = 0,
+        labels: Optional[np.ndarray] = None,
+        train_mask: Optional[np.ndarray] = None,
+    ) -> Dict[str, float]:
+        """One full-batch gradient step (the body of :meth:`fit`'s loop),
+        exposed so the job supervisor can drive all four apps through a
+        uniform per-epoch surface."""
+        labels, train_mask = self._resolve_targets(labels, train_mask)
+        t0 = time.perf_counter()
+        cache = self.forward()
+        loss, dW1, dW2 = self._loss_and_grads(cache, labels, train_mask.astype(np.float64))
+        self.W1 -= self.config.learning_rate * dW1
+        self.W2 -= self.config.learning_rate * dW2
+        pred = np.argmax(cache["P"], axis=1)
+        acc = float(np.mean(pred[train_mask] == labels[train_mask]))
+        stats = {
+            "epoch": epoch,
+            "loss": float(loss),
+            "train_accuracy": acc,
+            "seconds": time.perf_counter() - t0,
+        }
+        self.history.append(stats)
+        return stats
+
+    def fit(
+        self,
+        labels: Optional[np.ndarray] = None,
+        train_mask: Optional[np.ndarray] = None,
+        *,
+        epochs: Optional[int] = None,
+    ) -> List[Dict[str, float]]:
+        """Train with full-batch gradient descent; returns per-epoch stats."""
+        labels, train_mask = self._resolve_targets(labels, train_mask)
         epochs = self.config.epochs if epochs is None else epochs
         for epoch in range(epochs):
-            t0 = time.perf_counter()
-            cache = self.forward()
-            loss, dW1, dW2 = self._loss_and_grads(cache, labels, train_mask.astype(np.float64))
-            self.W1 -= self.config.learning_rate * dW1
-            self.W2 -= self.config.learning_rate * dW2
-            pred = np.argmax(cache["P"], axis=1)
-            acc = float(np.mean(pred[train_mask] == labels[train_mask]))
-            self.history.append(
-                {
-                    "epoch": epoch,
-                    "loss": float(loss),
-                    "train_accuracy": acc,
-                    "seconds": time.perf_counter() - t0,
-                }
-            )
+            self.train_epoch(epoch, labels, train_mask)
         return self.history
+
+    # ------------------------------------------------------------------ #
+    # Checkpointable state
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict:
+        """Both weight matrices + the epoch history.  GCN training is
+        full-batch and draws no per-epoch randomness, so the weights and
+        the epoch counter are the complete resume state."""
+        return {
+            "W1": self.W1.copy(),
+            "W2": self.W2.copy(),
+            "epochs_completed": len(self.history),
+            "history": [dict(h) for h in self.history],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore an :meth:`export_state` snapshot bitwise."""
+        W1 = np.asarray(state["W1"])
+        W2 = np.asarray(state["W2"])
+        if W1.shape != self.W1.shape or W2.shape != self.W2.shape:
+            raise ShapeError(
+                f"state weight shapes {W1.shape}/{W2.shape} do not match "
+                f"model shapes {self.W1.shape}/{self.W2.shape}"
+            )
+        self.W1 = W1.copy()
+        self.W2 = W2.copy()
+        self.history = [dict(h) for h in state.get("history", [])]
+
+    @property
+    def epochs_completed(self) -> int:
+        """Epochs trained so far (the resume point of a checkpoint)."""
+        return len(self.history)
 
     def accuracy(self, labels: Optional[np.ndarray] = None, mask: Optional[np.ndarray] = None) -> float:
         """Classification accuracy on the (optionally masked) vertices."""

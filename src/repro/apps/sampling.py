@@ -96,6 +96,16 @@ class NegativeSampler:
             weights = np.power(np.maximum(degrees, 1e-12), power)
             self._probs = weights / weights.sum()
 
+    def get_state(self) -> dict:
+        """The internal generator's state — JSON-able, so checkpointing a
+        trainer can persist the exact position of the negative stream."""
+        return self._rng.bit_generator.state
+
+    def set_state(self, state: dict) -> None:
+        """Restore a state captured by :meth:`get_state`; the next
+        :meth:`sample` continues the stream bitwise-identically."""
+        self._rng.bit_generator.state = state
+
     def sample(self, shape) -> np.ndarray:
         """Draw negative vertex ids with the configured distribution.
 

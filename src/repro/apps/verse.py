@@ -155,6 +155,40 @@ class Verse:
         self.history.append(stats)
         return stats
 
+    # ------------------------------------------------------------------ #
+    # Checkpointable state
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict:
+        """Embeddings + epoch count + noise-sampler stream position + the
+        epoch history — the full bitwise-resume state (the minibatch order
+        is a pure function of ``seed + epoch``)."""
+        from dataclasses import asdict
+
+        return {
+            "embeddings": self.embeddings.copy(),
+            "epochs_completed": len(self.history),
+            "sampler_state": self._sampler.get_state(),
+            "history": [asdict(s) for s in self.history],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore an :meth:`export_state` snapshot bitwise."""
+        embeddings = np.asarray(state["embeddings"])
+        if embeddings.shape != self.embeddings.shape:
+            raise ShapeError(
+                f"state embeddings shape {embeddings.shape} does not match "
+                f"model shape {self.embeddings.shape}"
+            )
+        self.embeddings = embeddings.copy()
+        self._sampler.set_state(state["sampler_state"])
+        self.history = [EpochStats(**s) for s in state.get("history", [])]
+
+    @property
+    def epochs_completed(self) -> int:
+        """Epochs trained so far (the resume point of a checkpoint)."""
+        return len(self.history)
+
+    # ------------------------------------------------------------------ #
     def runtime_stats(self) -> dict:
         """The trainer's :meth:`KernelRuntime.stats` snapshot."""
         return self._runtime.stats()

@@ -31,6 +31,11 @@ def __getattr__(name: str):
         from .remote_bench import bench_remote_scaling
 
         return bench_remote_scaling
+    # Lazy: pulls in the jobs subsystem and all four training apps.
+    if name == "bench_checkpoint_overhead":
+        from .jobs_bench import bench_checkpoint_overhead
+
+        return bench_checkpoint_overhead
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -42,6 +47,7 @@ __all__ = [
     "bench_jit_speedup",
     "bench_reorder_locality",
     "bench_serve_throughput",
+    "bench_checkpoint_overhead",
     "compare_paths",
     "compare_records",
     "MetricDelta",

@@ -1,6 +1,6 @@
 """Deterministic chaos soak over the resilience layer (``repro chaos``).
 
-Two legs, both gated on the same invariant the whole execution stack is
+Three legs, all gated on the same invariant the whole execution stack is
 built around: **faults may cost time, never bytes**.
 
 Distributed leg
@@ -20,6 +20,14 @@ Serve leg
     binary wire front-ends, driven by retry-armed clients
     (:class:`~repro.resilience.RetryPolicy`); every response is asserted
     bitwise.
+
+Training leg
+    A real ``repro train`` subprocess with a durable checkpoint
+    directory, SIGKILL-ed (``-9`` — no drain, no atexit) as soon as it
+    reports epoch 2, then rerun with the same command line.  The rerun
+    must print the resume banner and its final output must be bitwise
+    identical to an uninterrupted reference run — the
+    :mod:`repro.jobs` durability contract under the harshest crash.
 
 A watchdog thread turns "no hangs" into an enforceable gate: if no
 batch/request completes for ``stall_timeout_s`` the harness dumps its
@@ -340,6 +348,133 @@ def _serve_leg(
     }
 
 
+def _training_leg(
+    *,
+    seed: int,
+    watchdog: _Watchdog,
+    emit,
+) -> Dict[str, object]:
+    """SIGKILL a real ``repro train`` mid-epoch; resume must be bitwise.
+
+    The durable-jobs analogue of the controller-restart gate: a training
+    subprocess with a checkpoint directory is killed with ``-9`` (no
+    drain, no atexit) as soon as it reports epoch 2, then rerun with the
+    same command line.  The rerun must print the resume banner and the
+    final output must be bitwise identical to an uninterrupted
+    in-process reference of the same spec.
+    """
+    import shutil
+    import signal
+    import subprocess
+    from pathlib import Path
+
+    from ..jobs import JobSpec, run_training
+
+    spec = JobSpec(
+        app="force2vec",
+        dataset="harvard",
+        scale=1.0,
+        dim=16,
+        epochs=12,
+        seed=seed,
+        checkpoint_every=1,
+    )
+    work = tempfile.mkdtemp(prefix="repro-chaos-train-")
+    out_path = os.path.join(work, "out.npy")
+    log_path = os.path.join(work, "train.log")
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "train",
+        "--app",
+        spec.app,
+        "--dataset",
+        spec.dataset,
+        "--scale",
+        str(spec.scale),
+        "--dim",
+        str(spec.dim),
+        "--epochs",
+        str(spec.epochs),
+        "--seed",
+        str(spec.seed),
+        "--checkpoint-every",
+        str(spec.checkpoint_every),
+        "--checkpoint-dir",
+        os.path.join(work, "ck"),
+        "--output",
+        out_path,
+    ]
+    env = dict(os.environ)
+    src_dir = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+
+    def _run(wait_for: Optional[str]) -> "subprocess.Popen":
+        with open(log_path, "ab") as log:
+            proc = subprocess.Popen(
+                argv, env=env, stdout=log, stderr=subprocess.STDOUT
+            )
+        if wait_for is None:
+            return proc
+        deadline = time.monotonic() + _JOIN_TIMEOUT_S
+        while time.monotonic() < deadline and proc.poll() is None:
+            if wait_for in Path(log_path).read_text(errors="replace"):
+                break
+            time.sleep(0.02)
+        return proc
+
+    killed_at_epoch = -1
+    resumed_from = -1
+    bitwise = False
+    try:
+        # Phase 1: kill -9 as soon as epoch 2 is reported (mid-run, with
+        # at least one durable checkpoint behind it).
+        proc = _run(wait_for="epoch 2/")
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=_JOIN_TIMEOUT_S)
+        log_text = Path(log_path).read_text(errors="replace")
+        killed_at_epoch = log_text.count("repro train: epoch")
+        watchdog.beat("training: killed mid-run")
+
+        # Phase 2: same command, same checkpoint dir — must resume.
+        proc = _run(wait_for=None)
+        proc.wait(timeout=_JOIN_TIMEOUT_S * 4)
+        log_text = Path(log_path).read_text(errors="replace")
+        for line in log_text.splitlines():
+            if "resuming from epoch" in line:
+                resumed_from = int(line.rsplit(" ", 1)[-1])
+                break
+        watchdog.beat("training: resumed run finished")
+
+        reference = run_training(spec).output
+        try:
+            resumed = np.load(out_path)
+            bitwise = bool(
+                np.array_equal(resumed, reference)
+                and resumed.dtype == reference.dtype
+            )
+        except (OSError, ValueError):
+            bitwise = False
+        watchdog.beat("training: reference compared")
+        emit(
+            f"repro chaos: training killed -9 after {killed_at_epoch} "
+            f"epoch(s), resumed from {resumed_from}, "
+            f"bitwise={'yes' if bitwise else 'NO'}"
+        )
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+    return {
+        "leg": "training",
+        "seconds": 0.0,
+        "killed_at_epoch": killed_at_epoch,
+        "resumed_from": resumed_from,
+        "bitwise": bitwise,
+        "fault_counts": {},
+    }
+
+
 def run_chaos(
     *,
     seed: int = 7,
@@ -356,10 +491,12 @@ def run_chaos(
 
     ``duration_s`` is split ~2:1 between the distributed and serve legs
     (each still runs a minimum number of units so short smoke runs
-    exercise every path).  The report's ``ok`` is True only when every
-    gate held: all responses bitwise, the flapper quarantined, workers
+    exercise every path); the training leg runs one fixed kill/resume
+    cycle after them.  The report's ``ok`` is True only when every gate
+    held: all responses bitwise, the flapper quarantined, workers
     rejoined after the controller restart, at least one fault of every
-    kind fired, and nothing hung.
+    kind fired, the SIGKILL-ed training run resumed bitwise, and
+    nothing hung.
     """
     if stall_timeout_s is None:
         stall_timeout_s = max(120.0, duration_s * 2)
@@ -390,6 +527,10 @@ def run_chaos(
             emit=emit,
         )
         row2["seconds"] = time.monotonic() - t2
+
+        t3 = time.monotonic()
+        row3 = _training_leg(seed=seed, watchdog=watchdog, emit=emit)
+        row3["seconds"] = time.monotonic() - t3
     finally:
         watchdog.close()
 
@@ -399,12 +540,14 @@ def run_chaos(
         "quarantined": int(row1.get("quarantined_hosts", 0)) >= 1,
         "rejoined_after_restart": int(row1["restart_rejoined"]) >= workers,
         "all_fault_kinds": all(k in kinds_seen for k in FAULT_KINDS),
+        "train_resumed": int(row3["resumed_from"]) >= 1,
+        "train_bitwise": bool(row3["bitwise"]),
         "no_hang": True,  # the watchdog exits the process otherwise
     }
     return {
         "seed": seed,
         "duration_s": time.monotonic() - t0,
-        "rows": [row1, row2],
+        "rows": [row1, row2, row3],
         "kinds_seen": tuple(sorted(kinds_seen)),
         "gates": gates,
         "ok": all(gates.values()),

@@ -263,6 +263,25 @@ def _drive_coalescer(runtime, args: argparse.Namespace) -> dict:
     return asyncio.run(_workload())
 
 
+def _drive_jobs(runtime, _args: argparse.Namespace) -> dict:
+    """Run one tiny checkpointed training job through a JobManager whose
+    counters are attached to the runtime — the same ``jobs`` block
+    ``/statz`` exposes, observable without standing up a server."""
+    from .jobs import JobManager, JobSpec
+
+    manager = JobManager(max_active=1)
+    runtime.attach_stats_section("jobs", manager.stats)
+    try:
+        job_id = manager.submit(
+            JobSpec(app="force2vec", dataset="cora", scale=0.05, dim=8, epochs=2)
+        )
+        manager.wait(job_id, timeout=120)
+        return runtime.stats()["jobs"]
+    finally:
+        manager.close()
+        runtime.attach_stats_section("jobs", None)
+
+
 def _cmd_runtime_stats(args: argparse.Namespace) -> int:
     from .graphs import rmat
     from .graphs.features import random_features
@@ -286,8 +305,10 @@ def _cmd_runtime_stats(args: argparse.Namespace) -> int:
             else:
                 runtime.run(A, X, pattern=args.pattern)
         coalescer_stats = _drive_coalescer(runtime, args) if args.serve else None
+        jobs_stats = _drive_jobs(runtime, args) if args.jobs else None
         stats = runtime.stats()
         stats.pop("coalescer", None)
+        stats.pop("jobs", None)
     finally:
         runtime.close()
     cache = stats.pop("plan_cache")
@@ -313,6 +334,13 @@ def _cmd_runtime_stats(args: argparse.Namespace) -> int:
             format_table(
                 [coalescer_stats],
                 title="Coalescer (micro-batching windows, admission queue)",
+            )
+        )
+    if jobs_stats is not None:
+        print(
+            format_table(
+                [jobs_stats],
+                title="Training jobs (submission/requeue/checkpoint counters)",
             )
         )
     return 0
@@ -473,6 +501,156 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_train(args: argparse.Namespace) -> int:
+    """Local durable training: one job, checkpointed, auto-resuming.
+
+    With ``--checkpoint-dir``, a killed run restarted with the same
+    command resumes from its newest durable checkpoint and (under
+    ``reorder="none"``) finishes bitwise identical to an uninterrupted
+    run — the chaos harness's training leg drives exactly this loop.
+    """
+    import numpy as np
+
+    from .jobs import CheckpointStore, JobSpec, run_training
+
+    spec = JobSpec(
+        app=args.app,
+        dataset=args.dataset,
+        scale=args.scale,
+        dim=args.dim,
+        epochs=args.epochs,
+        seed=args.seed,
+        checkpoint_every=args.checkpoint_every,
+        num_threads=args.threads,
+    )
+    store = None
+    if args.checkpoint_dir:
+        store = CheckpointStore(args.checkpoint_dir)
+        checkpoint = store.latest()
+        if checkpoint is not None:
+            print(
+                f"repro train: resuming from epoch {checkpoint.epoch}",
+                flush=True,
+            )
+
+    def _progress(entry: dict) -> None:
+        detail = " ".join(
+            f"{key}={value:.6g}" if isinstance(value, float) else f"{key}={value}"
+            for key, value in entry.items()
+            if key != "epoch"
+        )
+        print(
+            f"repro train: epoch {entry['epoch'] + 1}/{spec.epochs} {detail}",
+            flush=True,
+        )
+
+    result = run_training(spec, store=store, on_progress=_progress)
+    print(
+        f"repro train: done app={spec.app} epochs={result.epochs_done} "
+        f"output={'x'.join(str(s) for s in result.output.shape)}",
+        flush=True,
+    )
+    if args.output:
+        np.save(args.output, result.output)
+        print(f"repro train: wrote {args.output}", flush=True)
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    """Control training jobs on a running ``repro serve`` instance."""
+    import json as _json
+    import time as _time
+
+    import numpy as np
+
+    from .serve import connect
+
+    terminal = ("completed", "failed", "cancelled")
+    with connect(args.url) as client:
+        if args.jobs_command == "submit":
+            doc = client.train(
+                app=args.app,
+                dataset=args.dataset,
+                scale=args.scale,
+                dim=args.dim,
+                epochs=args.epochs,
+                seed=args.seed,
+            )
+            job_id = doc["job_id"]
+            print(f"repro jobs: submitted {job_id}", flush=True)
+            if not args.wait:
+                return 0
+            last_epoch = -1
+            while True:
+                status = client.job(job_id)
+                for entry in status.get("progress", []):
+                    if entry["epoch"] > last_epoch:
+                        last_epoch = entry["epoch"]
+                        print(
+                            f"repro jobs: {job_id} epoch "
+                            f"{entry['epoch'] + 1}/{status['epochs_total']}",
+                            flush=True,
+                        )
+                if status["state"] in terminal:
+                    print(f"repro jobs: {job_id} {status['state']}", flush=True)
+                    return 0 if status["state"] == "completed" else 1
+                _time.sleep(args.poll)
+        if args.jobs_command == "list":
+            rows = [
+                {
+                    "id": j["id"],
+                    "app": j["spec"]["app"],
+                    "state": j["state"],
+                    "epochs": f"{j['epochs_done']}/{j['epochs_total']}",
+                    "attempts": j["attempts"],
+                    "error": (j.get("error") or "-")[:40],
+                }
+                for j in client.jobs()
+            ]
+            print(format_table(rows, title=f"Training jobs on {args.url}"))
+            return 0
+        if args.jobs_command == "status":
+            print(_json.dumps(client.job(args.job_id), indent=2))
+            return 0
+        if args.jobs_command == "cancel":
+            doc = client.cancel_job(args.job_id)
+            print(f"repro jobs: {args.job_id} -> {doc['state']}")
+            return 0
+        # result
+        rows = client.job_result(args.job_id)
+        if args.output:
+            np.save(args.output, rows)
+            print(f"repro jobs: wrote {args.output} {rows.shape} {rows.dtype}")
+        else:
+            print(
+                f"repro jobs: result {rows.shape} {rows.dtype} "
+                f"(use --output to save)"
+            )
+        return 0
+
+
+def _cmd_bench_jobs(args: argparse.Namespace) -> int:
+    from .bench.jobs_bench import bench_checkpoint_overhead
+
+    rows = bench_checkpoint_overhead(
+        nodes=args.nodes,
+        dim=args.dim,
+        epochs=args.epochs,
+        repeats=args.repeats,
+        apps=args.apps,
+    )
+    print(
+        format_table(
+            rows, title="Checkpoint overhead (per-epoch durable saves vs none)"
+        )
+    )
+    if args.json:
+        from .bench.record import record_benchmark
+
+        print(f"wrote {record_benchmark('jobs', rows, path=args.json)}")
+    return 0 if all(r["bitwise_identical"] for r in rows) else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import DEFAULT_MODELS, KernelServer, ModelSpec, ServeConfig
 
@@ -509,6 +687,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         processes=args.processes,
         heartbeat_strikes=args.heartbeat_strikes,
         fault_spec=args.fault_spec,
+        job_dir=args.job_dir,
+        max_jobs=args.max_jobs,
         models=models,
     )
     KernelServer(config).run()
@@ -672,6 +852,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench_rm.add_argument("--json", metavar="PATH", default=None)
     p_bench_rm.set_defaults(func=_cmd_bench_remote)
 
+    p_bench_jobs = bench_sub.add_parser(
+        "jobs",
+        help="checkpoint overhead: per-epoch durable saves vs none, with "
+        "bitwise-identity gate",
+    )
+    p_bench_jobs.add_argument("--nodes", type=int, default=6_000)
+    p_bench_jobs.add_argument("--dim", type=int, default=32)
+    p_bench_jobs.add_argument("--epochs", type=int, default=4)
+    p_bench_jobs.add_argument("--repeats", type=int, default=3)
+    p_bench_jobs.add_argument(
+        "--apps", nargs="+", default=["force2vec", "gcn"],
+        choices=["force2vec", "verse", "gcn", "fr_layout"],
+    )
+    p_bench_jobs.add_argument("--json", metavar="PATH", default=None)
+    p_bench_jobs.set_defaults(func=_cmd_bench_jobs)
+
     p_bench_cmp = bench_sub.add_parser(
         "compare", help="diff BENCH_*.json trend records, gate on regressions"
     )
@@ -702,6 +898,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also drive the micro-batching coalescer and print its "
         "window/queue metrics",
+    )
+    p_rt_stats.add_argument(
+        "--jobs",
+        action="store_true",
+        help="also run one tiny checkpointed training job and print the "
+        "job-manager counters (the jobs block of /statz)",
     )
     p_rt_stats.set_defaults(func=_cmd_runtime_stats)
 
@@ -780,7 +982,109 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--model-dim", type=int, default=32)
     p_serve.add_argument("--scale", type=float, default=0.25)
     p_serve.add_argument("--train-epochs", type=int, default=1)
+    p_serve.add_argument(
+        "--job-dir",
+        default=None,
+        metavar="DIR",
+        help="durable root for /v1/train jobs: checkpoints + supervision "
+        "records live here and unfinished jobs are requeued at startup "
+        "(default: a temporary directory, lost on restart)",
+    )
+    p_serve.add_argument(
+        "--max-jobs",
+        type=int,
+        default=2,
+        help="training jobs running concurrently",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_train = sub.add_parser(
+        "train",
+        help="run one durable training job locally: checkpoint every N "
+        "epochs, auto-resume from --checkpoint-dir after a crash",
+    )
+    p_train.add_argument(
+        "--app",
+        choices=["force2vec", "verse", "gcn", "fr_layout"],
+        default="force2vec",
+    )
+    p_train.add_argument("--dataset", default="cora")
+    p_train.add_argument("--scale", type=float, default=0.25)
+    p_train.add_argument("--dim", type=int, default=32)
+    p_train.add_argument("--epochs", type=int, default=4)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="epochs between durable checkpoints (0 = final only)",
+    )
+    p_train.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="durable checkpoint directory; a rerun with the same command "
+        "resumes from the newest valid checkpoint found here",
+    )
+    p_train.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH.npy",
+        help="write the final output matrix (embeddings/positions/"
+        "probabilities) as .npy",
+    )
+    p_train.add_argument("--threads", type=int, default=1)
+    p_train.set_defaults(func=_cmd_train)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="control training jobs on a running repro serve instance"
+    )
+    jobs_sub = p_jobs.add_subparsers(dest="jobs_command", required=True)
+    _url_kwargs = dict(
+        default="http://127.0.0.1:8571",
+        help="server URL (http://host:port or wire://host:port)",
+    )
+    p_jobs_submit = jobs_sub.add_parser("submit", help="submit a training job")
+    p_jobs_submit.add_argument("--url", **_url_kwargs)
+    p_jobs_submit.add_argument(
+        "--app",
+        choices=["force2vec", "verse", "gcn", "fr_layout"],
+        default="force2vec",
+    )
+    p_jobs_submit.add_argument("--dataset", default="cora")
+    p_jobs_submit.add_argument("--scale", type=float, default=0.25)
+    p_jobs_submit.add_argument("--dim", type=int, default=32)
+    p_jobs_submit.add_argument("--epochs", type=int, default=4)
+    p_jobs_submit.add_argument("--seed", type=int, default=0)
+    p_jobs_submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job reaches a terminal state, printing "
+        "per-epoch progress",
+    )
+    p_jobs_submit.add_argument("--poll", type=float, default=0.5)
+    p_jobs_submit.set_defaults(func=_cmd_jobs)
+    p_jobs_list = jobs_sub.add_parser("list", help="list known jobs")
+    p_jobs_list.add_argument("--url", **_url_kwargs)
+    p_jobs_list.set_defaults(func=_cmd_jobs)
+    p_jobs_status = jobs_sub.add_parser(
+        "status", help="status + per-epoch progress of one job"
+    )
+    p_jobs_status.add_argument("job_id")
+    p_jobs_status.add_argument("--url", **_url_kwargs)
+    p_jobs_status.set_defaults(func=_cmd_jobs)
+    p_jobs_cancel = jobs_sub.add_parser("cancel", help="cancel one job")
+    p_jobs_cancel.add_argument("job_id")
+    p_jobs_cancel.add_argument("--url", **_url_kwargs)
+    p_jobs_cancel.set_defaults(func=_cmd_jobs)
+    p_jobs_result = jobs_sub.add_parser(
+        "result", help="fetch a completed job's output matrix"
+    )
+    p_jobs_result.add_argument("job_id")
+    p_jobs_result.add_argument("--url", **_url_kwargs)
+    p_jobs_result.add_argument("--output", default=None, metavar="PATH.npy")
+    p_jobs_result.set_defaults(func=_cmd_jobs)
 
     p_worker = sub.add_parser(
         "worker", help="start one distributed worker host (joins a controller)"

@@ -68,6 +68,23 @@ class WorkerCrashError(WorkerError):
     OOM).  The pool respawns the worker; the in-flight call is lost."""
 
 
+class CheckpointError(ReproError, RuntimeError):
+    """Raised when a checkpoint cannot be *written* or a resume request is
+    inconsistent (graph fingerprint or config mismatch).  Never raised
+    while *scanning* for a checkpoint to load — corrupt or torn files are
+    silently skipped in favour of the newest valid one."""
+
+
+class JobError(ReproError, RuntimeError):
+    """Raised for training-job failures (:mod:`repro.jobs`): an epoch that
+    raised, an injected fault, a job submitted with an invalid spec."""
+
+
+class JobNotFoundError(JobError, KeyError):
+    """Raised when an unknown job id is requested; the serving front-end
+    answers 404."""
+
+
 class ServeError(ReproError, RuntimeError):
     """Base class of serving-subsystem failures (:mod:`repro.serve`).
 

@@ -304,6 +304,58 @@ class ServeClient:
     def models(self) -> List[str]:
         return [m["name"] for m in self.statz().get("models", [])]
 
+    # ------------------------------------------------------------------ #
+    # Training jobs
+    # ------------------------------------------------------------------ #
+    def train(self, **spec) -> Dict[str, object]:
+        """``POST /v1/train``; returns ``{"job_id": ..., "state": ...}``.
+
+        ``spec`` is the :class:`~repro.jobs.JobSpec` document (app,
+        dataset, epochs, ...).  Submissions bypass the retry policy: a
+        resend after an ambiguous transport failure could start the job
+        twice.
+        """
+        body = json.dumps(spec).encode("utf-8")
+        conn = self._connection()
+        conn.request(
+            "POST", "/v1/train", body=body, headers={"Content-Type": _JSON}
+        )
+        response = conn.getresponse()
+        payload = response.read()
+        if response.status >= 300:
+            try:
+                message = json.loads(payload).get(
+                    "error", payload.decode("utf-8", "replace")
+                )
+            except Exception:
+                message = payload.decode("utf-8", "replace")
+            raise http_error_for_status(response.status, str(message))
+        return json.loads(payload)
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        """``GET /v1/jobs/<id>``: status + per-epoch progress."""
+        _, payload = self._checked("GET", f"/v1/jobs/{job_id}")
+        return json.loads(payload)
+
+    def jobs(self) -> List[Dict[str, object]]:
+        """``GET /v1/jobs``: summaries of every known job."""
+        _, payload = self._checked("GET", "/v1/jobs")
+        return list(json.loads(payload).get("jobs", []))
+
+    def cancel_job(self, job_id: str) -> Dict[str, object]:
+        """``DELETE /v1/jobs/<id>``; returns the job document."""
+        _, payload = self._checked("DELETE", f"/v1/jobs/{job_id}")
+        return json.loads(payload)
+
+    def job_result(self, job_id: str) -> np.ndarray:
+        """``GET /v1/jobs/<id>/result`` as a bitwise-faithful array."""
+        _, raw = self._checked(
+            "GET",
+            f"/v1/jobs/{job_id}/result?response=npy",
+            headers={"Accept": _NPY},
+        )
+        return array_from_npy(raw)
+
 
 def wait_until_healthy(
     host: str, port: int, *, timeout: float = 30.0, interval: float = 0.1

@@ -230,6 +230,21 @@ class ServeConfig(RuntimeOptions):
     #: (:meth:`repro.resilience.FaultPlan.from_spec` grammar) — the chaos
     #: harness's hook; leave ``None`` in production
     fault_spec: Optional[str] = None
+    #: durable root for training jobs (``/v1/train``); each job gets its
+    #: own subdirectory with checkpoints + supervision record, and
+    #: unfinished jobs found there are requeued at startup.  ``None``
+    #: uses a temporary directory — jobs then survive faults within the
+    #: process but not a restart.
+    job_dir: Optional[str] = None
+    #: concurrently *running* training jobs
+    max_jobs: int = 2
+    #: admitted-but-not-running jobs; beyond ``max_jobs + max_job_queue``
+    #: submissions are answered 429
+    max_job_queue: int = 8
+    #: default checkpoint cadence (epochs) for jobs that don't set one
+    job_checkpoint_every: int = 1
+    #: requeue attempts for crashed/faulted jobs before ``failed``
+    job_retries: int = 3
     plan_cache_size: int = 128
     models: Tuple[ModelSpec, ...] = field(default_factory=lambda: DEFAULT_MODELS)
     #: patterns pre-planned against every registered graph at startup
@@ -267,6 +282,15 @@ class ServeConfig(RuntimeOptions):
             raise ShapeError(
                 f"heartbeat_strikes must be >= 1, got {self.heartbeat_strikes}"
             )
+        if self.max_jobs < 1 or self.max_job_queue < 0:
+            raise ShapeError(
+                f"max_jobs must be >= 1 and max_job_queue >= 0, got "
+                f"{self.max_jobs}/{self.max_job_queue}"
+            )
+        if self.job_checkpoint_every < 0 or self.job_retries < 0:
+            raise ShapeError(
+                "job_checkpoint_every and job_retries must be >= 0"
+            )
         names = [m.name for m in self.models]
         if len(set(names)) != len(names):
             raise ShapeError(f"duplicate model names in ServeConfig: {names}")
@@ -292,5 +316,10 @@ class ServeConfig(RuntimeOptions):
             "kernel_backend": self.kernel_backend,
             "remote_port": self.remote_port,
             "heartbeat_strikes": self.heartbeat_strikes,
+            "job_dir": None if self.job_dir is None else str(self.job_dir),
+            "max_jobs": self.max_jobs,
+            "max_job_queue": self.max_job_queue,
+            "job_checkpoint_every": self.job_checkpoint_every,
+            "job_retries": self.job_retries,
             "models": [m.name for m in self.models],
         }

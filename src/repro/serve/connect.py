@@ -62,6 +62,27 @@ class Client(Protocol):
         """The server's stats snapshot."""
         ...
 
+    def train(self, **spec) -> Dict[str, object]:
+        """Submit a training job (a :class:`~repro.jobs.JobSpec`
+        document); returns ``{"job_id": ..., "state": ...}``."""
+        ...
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        """Status + per-epoch progress of one training job."""
+        ...
+
+    def jobs(self) -> list:
+        """Summaries of every known training job."""
+        ...
+
+    def cancel_job(self, job_id: str) -> Dict[str, object]:
+        """Request cancellation of one training job."""
+        ...
+
+    def job_result(self, job_id: str) -> np.ndarray:
+        """The completed job's output matrix (bitwise-faithful)."""
+        ...
+
     def close(self) -> None:
         """Release the underlying connection."""
         ...

@@ -47,7 +47,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..errors import DatasetError, ReproError, ServeError
+from ..errors import DatasetError, JobNotFoundError, ReproError, ServeError
+from ..jobs import JobManager, JobSpec
 from ..runtime import KernelRequest
 from ..sparse import CSRMatrix
 from .coalescer import Coalescer
@@ -101,6 +102,8 @@ class KernelServer:
         self.registry = ModelRegistry(self.config)
         self.coalescer: Optional[Coalescer] = None
         self.wire: Optional["WireServer"] = None
+        #: training-job supervisor (``/v1/train``); built on :meth:`start`
+        self.jobs: Optional[JobManager] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: "set[asyncio.Task]" = set()
         self._started = time.monotonic()
@@ -148,6 +151,26 @@ class KernelServer:
             shard_min_nnz=self.config.shard_min_nnz,
             dispatch_workers=self.config.dispatch_workers,
         )
+        if self.jobs is None:
+            from ..resilience import RetryPolicy
+
+            self.jobs = JobManager(
+                self.config.job_dir,
+                max_active=self.config.max_jobs,
+                max_queue=self.config.max_job_queue,
+                retry=RetryPolicy(
+                    base_delay=0.05,
+                    max_delay=1.0,
+                    multiplier=2.0,
+                    jitter=0.0,
+                    max_attempts=self.config.job_retries,
+                    seed=0,
+                ),
+            )
+            # Requeue anything a previous process left unfinished; each
+            # resumes from its newest durable checkpoint.
+            self.jobs.recover()
+            self.registry.runtime.attach_stats_section("jobs", self.jobs.stats)
         self._server = await asyncio.start_server(
             self._handle_connection,
             host=self.config.host,
@@ -169,6 +192,12 @@ class KernelServer:
             self._server = None
         if self.wire is not None:
             await self.wire.stop_accepting()
+        if self.jobs is not None:
+            # Jobs checkpoint at their next epoch boundary and stay
+            # resumable on disk; recover() requeues them next start.
+            await asyncio.to_thread(self.jobs.close)
+            self.registry.runtime.attach_stats_section("jobs", None)
+            self.jobs = None
         if self.coalescer is not None:
             # Drain with wire connections still open: frames pipelined
             # before the drain finish and flush normally, frames arriving
@@ -313,12 +342,18 @@ class KernelServer:
                 if request.method not in ("GET", "POST"):
                     return 405, _error_body(405, "GET or POST required"), _JSON
                 return self._handle_embed(request)
+            if request.path == "/v1/train":
+                if request.method != "POST":
+                    return 405, _error_body(405, "POST required"), _JSON
+                return self._handle_train(request)
+            if request.path == "/v1/jobs" or request.path.startswith("/v1/jobs/"):
+                return self._handle_jobs(request)
             return 404, _error_body(404, f"no route for {request.path}"), _JSON
         except ProtocolError as exc:
             return exc.status, _error_body(exc.status, str(exc)), _JSON
         except ServeError as exc:
             return exc.http_status, _error_body(exc.http_status, str(exc)), _JSON
-        except DatasetError as exc:
+        except (DatasetError, JobNotFoundError) as exc:
             # KeyError reprs its message; unwrap for a clean wire error.
             message = exc.args[0] if exc.args else str(exc)
             return 404, _error_body(404, str(message)), _JSON
@@ -444,6 +479,54 @@ class KernelServer:
         return 200, body, _JSON
 
     # ------------------------------------------------------------------ #
+    # Training jobs
+    # ------------------------------------------------------------------ #
+    def _handle_train(self, request: HTTPRequest) -> Tuple[int, bytes, str]:
+        assert self.jobs is not None, "server not started"
+        doc = request.json()
+        if isinstance(doc, dict) and "checkpoint_every" not in doc:
+            doc = {**doc, "checkpoint_every": self.config.job_checkpoint_every}
+        spec = JobSpec.from_dict(doc)
+        job_id = self.jobs.submit(spec)
+        return 202, _json_body({"job_id": job_id, "state": "pending"}), _JSON
+
+    def _handle_jobs(self, request: HTTPRequest) -> Tuple[int, bytes, str]:
+        assert self.jobs is not None, "server not started"
+        rest = request.path[len("/v1/jobs") :].strip("/")
+        if not rest:
+            if request.method != "GET":
+                return 405, _error_body(405, "GET required"), _JSON
+            return 200, _json_body({"jobs": self.jobs.list_jobs()}), _JSON
+        job_id, _, tail = rest.partition("/")
+        if tail == "result":
+            if request.method != "GET":
+                return 405, _error_body(405, "GET required"), _JSON
+            rows = self.jobs.result(job_id)
+            if (
+                request.query.get("response") == "npy"
+                or request.headers.get("accept", "").startswith(_NPY)
+            ):
+                return 200, npy_bytes(rows), _NPY
+            return (
+                200,
+                _json_body(
+                    {
+                        "job_id": job_id,
+                        "shape": list(rows.shape),
+                        "result": encode_array(rows),
+                    }
+                ),
+                _JSON,
+            )
+        if tail:
+            return 404, _error_body(404, f"no route for {request.path}"), _JSON
+        if request.method == "GET":
+            return 200, _json_body(self.jobs.status(job_id)), _JSON
+        if request.method == "DELETE":
+            return 200, _json_body(self.jobs.cancel(job_id)), _JSON
+        return 405, _error_body(405, "GET or DELETE required"), _JSON
+
+    # ------------------------------------------------------------------ #
     def statz(self) -> Dict[str, object]:
         """The ``/statz`` document (also used by tests and the CLI)."""
         runtime_stats = self.registry.runtime.stats()
@@ -462,6 +545,7 @@ class KernelServer:
                 round(hits / (hits + misses), 4) if (hits + misses) else 0.0
             ),
             "coalescer": coalescer,
+            "jobs": None if self.jobs is None else self.jobs.stats(),
             "wire": None if self.wire is None else self.wire.describe(),
             "runtime": runtime_stats,
             "models": self.registry.describe(),

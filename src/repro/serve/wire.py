@@ -48,7 +48,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..errors import DatasetError, ReproError, ServeError
+from ..errors import DatasetError, JobNotFoundError, ReproError, ServeError
 from ..framing import (
     FRAME_HEADER,
     FrameCodec,
@@ -71,6 +71,8 @@ __all__ = [
     "OP_KERNEL",
     "OP_EMBED",
     "OP_STATZ",
+    "OP_TRAIN",
+    "OP_JOB",
     "OP_RESULT",
     "OP_ERROR",
     "FRAME_HEADER",
@@ -89,10 +91,12 @@ OP_HELLO = 0x01
 OP_KERNEL = 0x10
 OP_EMBED = 0x11
 OP_STATZ = 0x12
+OP_TRAIN = 0x13
+OP_JOB = 0x14
 OP_RESULT = 0x20
 OP_ERROR = 0x21
 
-_REQUEST_OPS = (OP_KERNEL, OP_EMBED, OP_STATZ)
+_REQUEST_OPS = (OP_KERNEL, OP_EMBED, OP_STATZ, OP_TRAIN, OP_JOB)
 
 #: The frame codec of this protocol.  Mechanics (header layout, payload
 #: container, blocking/async readers) live in :mod:`repro.framing` and are
@@ -313,6 +317,12 @@ class WireServer:
                 body = encode_payload(
                     {"status": 200, "statz": self._owner.statz()}
                 )
+            elif opcode == OP_TRAIN:
+                self.frames_served += 1
+                body = self._handle_train(meta)
+            elif opcode == OP_JOB:
+                self.frames_served += 1
+                body = self._handle_job(meta)
             else:
                 if opcode == OP_KERNEL:
                     result = await self._handle_kernel(meta, arrays)
@@ -327,7 +337,7 @@ class WireServer:
             response = (OP_ERROR, _error_payload(exc.status, str(exc)))
         except ServeError as exc:
             response = (OP_ERROR, _error_payload(exc.http_status, str(exc)))
-        except DatasetError as exc:
+        except (DatasetError, JobNotFoundError) as exc:
             message = exc.args[0] if exc.args else str(exc)
             response = (OP_ERROR, _error_payload(404, str(message)))
         except ReproError as exc:
@@ -341,6 +351,47 @@ class WireServer:
         except (ConnectionError, RuntimeError, OSError):
             # The client hung up before its response; nothing to tell it.
             pass
+
+    # ------------------------------------------------------------------ #
+    def _job_manager(self):
+        jobs = self._owner.jobs
+        if jobs is None:
+            raise ProtocolError("server not started", status=503)
+        return jobs
+
+    def _handle_train(self, meta: dict) -> bytes:
+        """``OP_TRAIN``: the meta block *is* the job spec."""
+        from ..jobs import JobSpec
+
+        doc = dict(meta)
+        doc.pop("arrays", None)  # payload-container bookkeeping, not spec
+        if "checkpoint_every" not in doc:
+            doc["checkpoint_every"] = self.config.job_checkpoint_every
+        job_id = self._job_manager().submit(JobSpec.from_dict(doc))
+        return encode_payload(
+            {"status": 200, "job_id": job_id, "state": "pending"}
+        )
+
+    def _handle_job(self, meta: dict) -> bytes:
+        """``OP_JOB``: ``meta["action"]`` is status/list/cancel/result."""
+        jobs = self._job_manager()
+        action = str(meta.get("action", "status"))
+        if action == "list":
+            return encode_payload({"status": 200, "jobs": jobs.list_jobs()})
+        job_id = meta.get("job_id")
+        if not job_id:
+            raise ProtocolError(f"job action {action!r} needs 'job_id'")
+        job_id = str(job_id)
+        if action == "status":
+            return encode_payload({"status": 200, "job": jobs.status(job_id)})
+        if action == "cancel":
+            return encode_payload({"status": 200, "job": jobs.cancel(job_id)})
+        if action == "result":
+            rows = jobs.result(job_id)
+            return encode_payload(
+                {"status": 200, "shape": list(rows.shape)}, {"z": rows}
+            )
+        raise ProtocolError(f"unknown job action {action!r}")
 
     # ------------------------------------------------------------------ #
     def _resolve_adjacency(
@@ -592,6 +643,18 @@ class WireClient:
         """Pipeline one stats snapshot request; returns its request-id."""
         return self._send(OP_STATZ, {}, {})
 
+    def send_train(self, **spec) -> int:
+        """Pipeline one training-job submission; returns its request-id.
+        ``spec`` is the :class:`~repro.jobs.JobSpec` document."""
+        return self._send(OP_TRAIN, dict(spec), {})
+
+    def send_job(self, action: str, job_id: Optional[str] = None) -> int:
+        """Pipeline one job query (status/list/cancel/result)."""
+        meta: Dict[str, object] = {"action": action}
+        if job_id is not None:
+            meta["job_id"] = job_id
+        return self._send(OP_JOB, meta, {})
+
     def recv(self) -> Tuple[int, object]:
         """The next response in completion order.
 
@@ -678,3 +741,37 @@ class WireClient:
         """Fetch the server's stats snapshot (mirrors ``GET /statz``)."""
         value = self._call(self.send_statz)
         return dict(value.get("statz", {}))
+
+    # ------------------------------------------------------------------ #
+    # Training jobs (mirror POST /v1/train and /v1/jobs/*)
+    # ------------------------------------------------------------------ #
+    def train(self, **spec) -> dict:
+        """Submit a training job; returns ``{"job_id": ..., "state": ...}``.
+
+        Deliberately *not* retried on transport failure even with a
+        policy armed: a submission is not idempotent — a resend after an
+        ambiguous failure could start the job twice.
+        """
+        value = self._wait_for(self.send_train(**spec))
+        if isinstance(value, Exception):
+            raise value
+        return dict(value)
+
+    def job(self, job_id: str) -> dict:
+        """Status + per-epoch progress of one job."""
+        value = self._call(lambda: self.send_job("status", job_id))
+        return dict(value["job"])
+
+    def jobs(self) -> list:
+        """Summaries of every known job."""
+        value = self._call(lambda: self.send_job("list"))
+        return list(value["jobs"])
+
+    def cancel_job(self, job_id: str) -> dict:
+        """Request cancellation; returns the job document."""
+        value = self._call(lambda: self.send_job("cancel", job_id))
+        return dict(value["job"])
+
+    def job_result(self, job_id: str) -> np.ndarray:
+        """The completed job's output matrix."""
+        return self._call(lambda: self.send_job("result", job_id))
