@@ -1,0 +1,147 @@
+"""Benchmark: dynamic-graph updates vs full rebuild, with identity gates.
+
+Runs :func:`repro.bench.dynamic_bench.bench_dynamic_updates` — small
+edge batches applied to a live :class:`DynamicGraph` (overlay splice +
+in-place plan refresh + dirty-panel rebuild) timed against rebuilding
+the CSR from the full edge set and replanning cold — plus bitwise
+identity of the mutated graph across shard counts on the multi-process
+tier and on real ``python -m repro worker`` hosts, where the second
+sharded run after a mutation must re-ship only the dirty rows
+(``delta_ships >= 1``).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_dynamic_updates.py [--quick] [--json PATH]
+
+or via the CLI: ``python -m repro bench dynamic``.  The process exits
+non-zero unless every leg is bitwise identical, the incremental update
+is at least 5x cheaper than rebuild+replan, and the remote leg actually
+shipped a delta (``--no-check`` reports only).  ``--json`` writes a
+machine-readable ``BENCH_dynamic.json`` via :mod:`repro.bench.record`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench.dynamic_bench import bench_dynamic_updates  # noqa: E402
+from repro.bench.record import record_benchmark  # noqa: E402
+from repro.bench.tables import format_table  # noqa: E402
+
+#: The incremental path must beat rebuild+replan by at least this factor
+#: at <=1% nnz churn (the ROADMAP's dynamic-graph acceptance bar).
+SPEEDUP_TARGET = 5.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument("--avg-degree", type=int, default=16)
+    parser.add_argument("--dim", type=int, default=None)
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument(
+        "--churn",
+        type=float,
+        default=0.002,
+        help="edge churn per round as a fraction of nnz (the ROADMAP gate "
+        "covers any small delta <= 1%%)",
+    )
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4], help="shard counts"
+    )
+    parser.add_argument(
+        "--no-remote",
+        action="store_true",
+        help="skip the remote leg (worker hosts + dirty-shard delta ship)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write BENCH_dynamic.json-style results to PATH",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="report only; do not fail on missed targets",
+    )
+    args = parser.parse_args(argv)
+
+    nodes = args.nodes or (4_000 if args.quick else 20_000)
+    dim = args.dim or (32 if args.quick else 64)
+    rounds = args.rounds or (3 if args.quick else 5)
+
+    rows = bench_dynamic_updates(
+        num_nodes=nodes,
+        avg_degree=args.avg_degree,
+        dim=dim,
+        rounds=rounds,
+        churn=args.churn,
+        shard_counts=args.shards,
+        remote_leg=not args.no_remote,
+    )
+    print(format_table(rows, title="Dynamic graphs (incremental invalidation)"))
+
+    if args.json:
+        path = record_benchmark(
+            "dynamic",
+            rows,
+            path=args.json,
+            extra={
+                "config": {
+                    "nodes": nodes,
+                    "dim": dim,
+                    "rounds": rounds,
+                    "churn": args.churn,
+                }
+            },
+        )
+        print(f"wrote {path}")
+
+    failures = []
+    for r in rows:
+        if not r["identical"]:
+            failures.append(
+                f"{r['leg']} leg: result not bitwise identical to rebuilt CSR"
+            )
+    # The speedup gate is wall-clock and only meaningful at full size;
+    # --quick (CI smoke on shared runners) keeps the identity and
+    # delta-ship gates hard but reports the ratio without failing on it.
+    for r in (r for r in rows if r["leg"] == "update_vs_rebuild" and not args.quick):
+        if r["speedup_vs_rebuild"] < SPEEDUP_TARGET:
+            failures.append(
+                f"incremental update only {r['speedup_vs_rebuild']:.1f}x faster "
+                f"than rebuild+replan (target >= {SPEEDUP_TARGET:.0f}x)"
+            )
+    for r in (r for r in rows if r["leg"] == "remote_delta"):
+        if r["delta_ships"] < 1:
+            failures.append(
+                "remote leg never shipped a delta "
+                f"(delta_ships={r['delta_ships']}, "
+                f"fallbacks={r['delta_fallbacks']})"
+            )
+    if failures and not args.no_check:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    if failures:
+        print("targets missed (reported only)")
+    else:
+        print(
+            "dynamic-graph targets met (bitwise identity + "
+            f">={SPEEDUP_TARGET:.0f}x incremental update + delta ship)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,276 @@
+"""Mutation smoke: live edge updates against a real ``repro serve`` process.
+
+Drives the actual deployment artifact — ``python -m repro serve`` as a
+subprocess with a 2-process worker pool — with concurrent edge-update
+writers on *both* transports (HTTP ``POST /v1/graph/<name>/edges`` and
+wire ``OP_MUTATE``) racing concurrent kernel/embed readers.  Asserts:
+
+* **version monotonicity** — the versions returned across all writers
+  are exactly ``1..K``, no duplicates, no gaps (mutations serialize,
+  none lost, none applied twice);
+* **read consistency** — every concurrent kernel read is bitwise equal
+  to the reference result of *some* graph version in its admission
+  window (reads pin a version at admission; a torn or blended read
+  matches no version);
+* **bitwise-vs-rebuild** — after the churn, the served graph's kernel
+  result is bitwise identical to the same kernel on a CSR rebuilt from
+  scratch out of the final edge set (replayed locally in version
+  order), both through the server and against a local reference;
+* ``/statz`` reports the per-graph memory/version accounting, and
+  SIGTERM still drains cleanly after the churn.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/mutation_smoke.py
+
+Used by the CI ``mutation-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.core.fused import fusedmm  # noqa: E402
+from repro.graphs.datasets import load_dataset  # noqa: E402
+from repro.graphs.features import random_features  # noqa: E402
+from repro.serve import ServeClient, WireClient, wait_until_healthy  # noqa: E402
+from repro.sparse import CSRMatrix  # noqa: E402
+from repro.sparse.coo import COOMatrix  # noqa: E402
+
+HOST = "127.0.0.1"
+PORT = 8767
+WIRE_PORT = 8768
+MODEL = "cora-force2vec"
+SCALE = 0.1
+BATCHES_PER_WRITER = 6
+READERS = 3
+READS_PER_READER = 8
+
+
+def _edges_csr(edges: dict) -> CSRMatrix:
+    """Canonical CSR from a ``{(u, v): w}`` edge dict (the rebuild path)."""
+    n = max((max(u, v) for u, v in edges), default=0) + 1
+    rows = np.array([u for u, _ in edges], dtype=np.int64)
+    cols = np.array([v for _, v in edges], dtype=np.int64)
+    vals = np.array([edges[k] for k in edges], dtype=np.float32)
+    return CSRMatrix.from_coo(COOMatrix(n, n, rows, cols, vals))
+
+
+def main() -> int:
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            HOST,
+            "--port",
+            str(PORT),
+            "--wire-port",
+            str(WIRE_PORT),
+            "--processes",
+            "2",
+            "--models",
+            "cora",
+            "--scale",
+            str(SCALE),
+            "--max-batch",
+            "16",
+        ],
+        cwd=_ROOT,
+        env={**__import__("os").environ, "PYTHONPATH": str(_SRC)},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    failures: list[str] = []
+    try:
+        if not wait_until_healthy(HOST, PORT, timeout=120.0):
+            print(proc.stdout.read() if proc.stdout else "")
+            print("FAIL: server never became healthy", file=sys.stderr)
+            return 1
+        print("healthz: ok")
+
+        # The synthetic datasets are deterministic, so the local twin of
+        # the served base graph is byte-identical to the server's.
+        base = load_dataset("cora", scale=SCALE).adjacency
+        n = base.nrows
+        X = random_features(n, 8, seed=3)
+        base_rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(base.indptr))
+        base_edges = {
+            (int(u), int(v)): np.float32(w)
+            for u, v, w in zip(base_rows, base.indices, base.data)
+        }
+
+        lock = threading.Lock()
+        applied: list[tuple[int, np.ndarray, np.ndarray]] = []
+        latest = [0]  # max version any writer has seen acknowledged
+        reads: list[tuple[int, np.ndarray]] = []  # (version floor, Z)
+
+        def _writer(wid: int, use_wire: bool) -> None:
+            rng = np.random.default_rng(100 + wid)
+            try:
+                client = (
+                    WireClient(HOST, WIRE_PORT, timeout=60.0)
+                    if use_wire
+                    else ServeClient(HOST, PORT, timeout=60.0)
+                )
+                with client:
+                    for _ in range(BATCHES_PER_WRITER):
+                        ins = np.stack(
+                            [
+                                rng.integers(0, n, size=5).astype(np.float64),
+                                rng.integers(0, n, size=5).astype(np.float64),
+                                rng.integers(1, 8, size=5) / np.float64(4.0),
+                            ],
+                            axis=1,
+                        )
+                        pick = rng.choice(base_rows.size, size=3, replace=False)
+                        dele = np.stack(
+                            [
+                                base_rows[pick].astype(np.float64),
+                                base.indices[pick].astype(np.float64),
+                            ],
+                            axis=1,
+                        )
+                        doc = client.mutate(MODEL, insert=ins, delete=dele)
+                        version = int(doc["version"])
+                        with lock:
+                            applied.append((version, ins, dele))
+                            latest[0] = max(latest[0], version)
+                        time.sleep(0.01)
+            except Exception as exc:  # noqa: BLE001
+                failures.append(f"writer {wid}: {type(exc).__name__}: {exc}")
+
+        def _reader(rid: int) -> None:
+            try:
+                with ServeClient(HOST, PORT, timeout=60.0) as client:
+                    for _ in range(READS_PER_READER):
+                        with lock:
+                            floor = latest[0]
+                        Z = client.kernel(model=MODEL, x=X, pattern="gcn")
+                        with lock:
+                            reads.append((floor, Z))
+                        rows = client.embed(MODEL, [0, 1, 2])
+                        if rows.shape != (3, 32):
+                            failures.append(
+                                f"reader {rid}: embed shape {rows.shape}"
+                            )
+            except Exception as exc:  # noqa: BLE001
+                failures.append(f"reader {rid}: {type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=_writer, args=(0, False)),
+            threading.Thread(target=_writer, args=(1, True)),
+        ] + [threading.Thread(target=_reader, args=(r,)) for r in range(READERS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # --- version monotonicity: exactly 1..K, no gaps, no repeats --- #
+        total = 2 * BATCHES_PER_WRITER
+        versions = sorted(v for v, _, _ in applied)
+        if versions != list(range(1, total + 1)):
+            failures.append(
+                f"versions not a gapless monotone sequence: {versions}"
+            )
+        print(f"writers: {total} batches acknowledged, versions 1..{total}")
+
+        # --- replay the acknowledged batches in version order to get the
+        # reference matrix (and kernel result) of every version --- #
+        refs: list[np.ndarray] = [
+            fusedmm(base, X, X, pattern="gcn", num_threads=1)
+        ]
+        edges = dict(base_edges)
+        final_A = base
+        for _, ins, dele in sorted(applied, key=lambda t: t[0]):
+            for u, v in dele:
+                edges.pop((int(u), int(v)), None)
+            for u, v, w in ins:
+                edges[(int(u), int(v))] = np.float32(w)
+            final_A = _edges_csr(edges)
+            refs.append(fusedmm(final_A, X, X, pattern="gcn", num_threads=1))
+
+        # --- read consistency: every read matches some version >= its
+        # admission floor (a torn read matches no version at all) --- #
+        torn = 0
+        for floor, Z in reads:
+            if not any(
+                np.array_equal(Z, refs[v]) for v in range(floor, total + 1)
+            ):
+                torn += 1
+        if torn:
+            failures.append(
+                f"{torn}/{len(reads)} concurrent reads matched no graph "
+                "version in their window (torn or blended result)"
+            )
+        print(f"readers: {len(reads)} kernel reads, all version-consistent")
+
+        # --- final state: served graph bitwise equal to a from-scratch
+        # rebuild of the same edge set, via server and local reference --- #
+        with ServeClient(HOST, PORT, timeout=60.0) as client:
+            Z_model = client.kernel(model=MODEL, x=X, pattern="gcn")
+            Z_inline = client.kernel(graph=final_A, X=X, pattern="gcn", binary=True)
+            stats = client.statz()
+        Z_ref = refs[total]
+        if not np.array_equal(Z_model, Z_ref):
+            failures.append("final model kernel differs from rebuilt reference")
+        if not np.array_equal(Z_inline, Z_ref):
+            failures.append("inline rebuilt-graph kernel differs from reference")
+        print("final state: bitwise equal to from-scratch rebuild")
+
+        graphs = (stats.get("runtime") or {}).get("graphs") or {}
+        mem = graphs.get(MODEL) or {}
+        if int(mem.get("version", -1)) != total:
+            failures.append(f"statz graph version {mem.get('version')} != {total}")
+        for key in ("base_bytes", "delta_bytes", "plans", "total_bytes"):
+            if key not in mem:
+                failures.append(f"statz graph accounting missing {key!r}")
+        print(
+            f"statz: version={mem.get('version')} "
+            f"base_bytes={mem.get('base_bytes')} "
+            f"delta_bytes={mem.get('delta_bytes')} "
+            f"total_bytes={mem.get('total_bytes')}"
+        )
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+        try:
+            out, _ = proc.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            out, _ = proc.communicate()
+            failures.append("server did not drain within 60s of SIGTERM")
+
+    if "drained, bye" not in (out or ""):
+        failures.append(f"no graceful-drain goodbye in server output:\n{out}")
+    if proc.returncode not in (0, -signal.SIGTERM):
+        failures.append(f"server exited with {proc.returncode}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(
+        "mutation smoke: versions monotone, reads consistent, "
+        "final state bitwise vs rebuild, drain clean"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,11 @@ def __getattr__(name: str):
         from .remote_bench import bench_remote_scaling
 
         return bench_remote_scaling
+    # Lazy for the same reason: pulls in the remote/runtime stack.
+    if name == "bench_dynamic_updates":
+        from .dynamic_bench import bench_dynamic_updates
+
+        return bench_dynamic_updates
     # Lazy: pulls in the jobs subsystem and all four training apps.
     if name == "bench_checkpoint_overhead":
         from .jobs_bench import bench_checkpoint_overhead
@@ -44,6 +49,7 @@ __all__ = [
     "load_benchmark",
     "bench_shard_scaling",
     "bench_remote_scaling",
+    "bench_dynamic_updates",
     "bench_jit_speedup",
     "bench_reorder_locality",
     "bench_serve_throughput",

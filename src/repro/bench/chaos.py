@@ -14,6 +14,17 @@ Distributed leg
     same port — the workers must rejoin through their backoff loops and
     the next batches must still match.
 
+Mutation leg
+    A :class:`~repro.runtime.dynamic.DynamicGraph` on the distributed
+    tier: seeded edge batches applied between sharded runs while the
+    workers carry fault plans (crashes, disconnects, delays, dropped
+    frames) and the controller is severed and rebuilt mid-soak — the
+    live graph handle survives its controller.  Gates: every
+    acknowledged version increments by exactly one (never torn), every
+    post-mutation batch is bitwise identical to a kernel on a CSR
+    rebuilt from scratch out of the same edge set, and the workers
+    rejoin after the restart.
+
 Serve leg
     A :class:`~repro.serve.runner.BackgroundServer` with a seeded
     ``fault_spec`` injecting request-level faults into both the HTTP and
@@ -181,6 +192,8 @@ def _merge_remote_stats(total: Dict[str, int], stats: Dict[str, object]) -> None
         "probes",
         "registrations_rejected",
         "batches",
+        "delta_ships",
+        "delta_fallbacks",
     ):
         value = stats.get(key)
         if isinstance(value, (int, float)):
@@ -282,6 +295,134 @@ def _distributed_leg(
         "seconds": 0.0,  # filled by caller
         "batches": batches,
         "bitwise": mismatches == 0,
+        "respawns": respawns,
+        "restart_rejoined": restart_rejoined,
+        "fault_counts": fault_counts,
+        **stats_total,
+    }
+
+
+def _mutation_leg(
+    *,
+    seed: int,
+    deadline: float,
+    workers: int,
+    nodes: int,
+    avg_degree: int,
+    dim: int,
+    pattern: str,
+    watchdog: _Watchdog,
+    emit,
+) -> Dict[str, object]:
+    """Edge updates racing worker faults and a controller restart.
+
+    Between sharded batches the graph mutates (seeded hot-row edge
+    batches through :class:`DynamicGraph`), so RUN requests land on
+    freshly delta-shipped — or, after the controller restart, fully
+    re-shipped — matrix versions while the fault plans fire.  Every
+    batch is checked bitwise against a kernel on a CSR rebuilt from
+    scratch out of the current edge set, and every acknowledged version
+    must increment by exactly one.
+    """
+    import subprocess
+
+    from ..runtime.dynamic import DynamicGraph
+    from .dynamic_bench import edge_batch, rebuild_csr
+    from .remote_bench import _reap
+
+    rng = np.random.default_rng(seed * 17 + 3)
+    A = rmat(nodes, nodes * avg_degree, seed=seed + 2)
+    X = random_features(A.nrows, dim, seed=seed + 2)
+    half = max(8, A.nnz // 500)
+
+    port = _free_port()
+    plans = _worker_plans(seed + 5, workers)
+    log_dir = tempfile.mkdtemp(prefix="repro-chaos-mut-")
+    names = [f"chaos-m{i}" for i in range(workers)]
+    logs = [os.path.join(log_dir, f"{name}.stderr") for name in names]
+
+    runtime = KernelRuntime(
+        num_threads=1, processes=0, remote_port=port, remote_hedge=True
+    )
+    procs: List[subprocess.Popen] = []
+    stats_total: Dict[str, int] = {}
+    batches = 0
+    mismatches = 0
+    respawns = 0
+    versions_ok = True
+    restart_rejoined = -1
+    try:
+        controller = runtime.controller
+        procs = [
+            _spawn(port, name, spec, log)
+            for name, spec, log in zip(names, plans, logs)
+        ]
+        controller.wait_for_hosts(workers, timeout=_JOIN_TIMEOUT_S)
+        watchdog.beat("mutation: hosts joined")
+
+        graph = DynamicGraph(A, runtime=runtime)
+        expected_version = 0
+        restart_at = time.monotonic() + max(
+            (deadline - time.monotonic()) / 2.0, 1.0
+        )
+        restarted = False
+        while time.monotonic() < deadline or batches < 4:
+            if not restarted and time.monotonic() >= restart_at:
+                # Controller "crash" with a live mutable graph: sever
+                # without the EXIT handshake, rebuild on the same port,
+                # and hand the graph its new runtime — versions continue,
+                # dirty-shard deltas fall back to full re-ships until the
+                # rejoined agents hold a base again.
+                _merge_remote_stats(stats_total, controller.stats())
+                controller.close(notify=False)
+                runtime.close()
+                runtime = KernelRuntime(
+                    num_threads=1,
+                    processes=0,
+                    remote_port=port,
+                    remote_hedge=True,
+                )
+                controller = runtime.controller
+                graph.runtime = runtime
+                restart_rejoined = controller.wait_for_hosts(
+                    workers, timeout=_JOIN_TIMEOUT_S
+                )
+                restarted = True
+                emit(
+                    f"repro chaos: mutation-leg controller restarted, "
+                    f"{restart_rejoined} hosts rejoined"
+                )
+                watchdog.beat("mutation: controller restart")
+            for idx, proc in enumerate(procs):
+                if proc.poll() is not None:
+                    procs[idx] = _spawn(port, names[idx], plans[idx], logs[idx])
+                    respawns += 1
+            insert, delete = edge_batch(rng, graph.matrix, half, half, n_hot=16)
+            result = graph.apply_edges(insert=insert, delete=delete)
+            expected_version += 1
+            if result.version != expected_version:
+                versions_ok = False
+            Z = runtime.run_sharded(graph.matrix, X, pattern=pattern)
+            ref = fusedmm(
+                rebuild_csr(graph.matrix), X, X, pattern=pattern, num_threads=1
+            )
+            batches += 1
+            if not np.array_equal(Z, ref):
+                mismatches += 1
+            watchdog.beat(f"mutation: batch {batches} (v{result.version})")
+        _merge_remote_stats(stats_total, controller.stats())
+        graph.close()
+    finally:
+        runtime.close()
+        _reap(procs)
+
+    fault_counts = _fault_kinds_logged(logs)
+    return {
+        "leg": "mutation",
+        "seconds": 0.0,
+        "batches": batches,
+        "bitwise": mismatches == 0,
+        "versions_monotonic": versions_ok,
         "respawns": respawns,
         "restart_rejoined": restart_rejoined,
         "fault_counts": fault_counts,
@@ -489,21 +630,22 @@ def run_chaos(
 ) -> Dict[str, object]:
     """Run the full chaos soak; returns the gated report.
 
-    ``duration_s`` is split ~2:1 between the distributed and serve legs
-    (each still runs a minimum number of units so short smoke runs
-    exercise every path); the training leg runs one fixed kill/resume
-    cycle after them.  The report's ``ok`` is True only when every gate
-    held: all responses bitwise, the flapper quarantined, workers
-    rejoined after the controller restart, at least one fault of every
-    kind fired, the SIGKILL-ed training run resumed bitwise, and
-    nothing hung.
+    ``duration_s`` is split ~2:1:1 between the distributed, mutation and
+    serve legs (each still runs a minimum number of units so short smoke
+    runs exercise every path); the training leg runs one fixed
+    kill/resume cycle after them.  The report's ``ok`` is True only when
+    every gate held: all responses bitwise, the flapper quarantined,
+    workers rejoined after both controller restarts, graph versions
+    incremented gaplessly under faults, at least one fault of every kind
+    fired, the SIGKILL-ed training run resumed bitwise, and nothing
+    hung.
     """
     if stall_timeout_s is None:
         stall_timeout_s = max(120.0, duration_s * 2)
     watchdog = _Watchdog(stall_timeout_s)
     t0 = time.monotonic()
     try:
-        leg1_deadline = t0 + duration_s * (2.0 / 3.0)
+        leg1_deadline = t0 + duration_s * 0.5
         t1 = time.monotonic()
         row1 = _distributed_leg(
             seed=seed,
@@ -517,6 +659,20 @@ def run_chaos(
             emit=emit,
         )
         row1["seconds"] = time.monotonic() - t1
+
+        tm = time.monotonic()
+        row_m = _mutation_leg(
+            seed=seed,
+            deadline=t0 + duration_s * 0.75,
+            workers=workers,
+            nodes=nodes,
+            avg_degree=avg_degree,
+            dim=dim,
+            pattern=pattern,
+            watchdog=watchdog,
+            emit=emit,
+        )
+        row_m["seconds"] = time.monotonic() - tm
 
         t2 = time.monotonic()
         row2 = _serve_leg(
@@ -534,11 +690,18 @@ def run_chaos(
     finally:
         watchdog.close()
 
-    kinds_seen = set(row1["fault_counts"]) | set(row2["fault_counts"])
+    kinds_seen = (
+        set(row1["fault_counts"])
+        | set(row_m["fault_counts"])
+        | set(row2["fault_counts"])
+    )
     gates = {
         "bitwise": bool(row1["bitwise"] and row2["bitwise"]),
         "quarantined": int(row1.get("quarantined_hosts", 0)) >= 1,
         "rejoined_after_restart": int(row1["restart_rejoined"]) >= workers,
+        "mutation_bitwise": bool(row_m["bitwise"]),
+        "mutation_versions_monotonic": bool(row_m["versions_monotonic"]),
+        "mutation_rejoined": int(row_m["restart_rejoined"]) >= workers,
         "all_fault_kinds": all(k in kinds_seen for k in FAULT_KINDS),
         "train_resumed": int(row3["resumed_from"]) >= 1,
         "train_bitwise": bool(row3["bitwise"]),
@@ -547,7 +710,7 @@ def run_chaos(
     return {
         "seed": seed,
         "duration_s": time.monotonic() - t0,
-        "rows": [row1, row2, row3],
+        "rows": [row1, row_m, row2, row3],
         "kinds_seen": tuple(sorted(kinds_seen)),
         "gates": gates,
         "ok": all(gates.values()),

@@ -18,6 +18,10 @@ Sub-commands
                   ``bench remote``: distributed tier — TCP worker hosts
                   vs in-process sharding, with kill-one-host and
                   straggler-hedging legs;
+                  ``bench dynamic``: dynamic graphs — incremental
+                  update vs full rebuild+replan, bitwise identity across
+                  shard counts and on remote hosts with dirty-shard
+                  delta shipping;
                   ``bench compare``: diff BENCH_*.json trend records and
                   gate on regressions)
 ``runtime``       runtime observability (``runtime stats``: drive a
@@ -401,6 +405,32 @@ def _cmd_bench_remote(args: argparse.Namespace) -> int:
 
         print(f"wrote {record_benchmark('remote', rows, path=args.json)}")
     return 0 if all(r["identical"] for r in rows) else 1
+
+
+def _cmd_bench_dynamic(args: argparse.Namespace) -> int:
+    from .bench.dynamic_bench import bench_dynamic_updates
+
+    rows = bench_dynamic_updates(
+        num_nodes=args.nodes,
+        avg_degree=args.avg_degree,
+        dim=args.dim,
+        rounds=args.rounds,
+        churn=args.churn,
+        shard_counts=args.shards,
+        pattern=args.pattern,
+        remote_leg=not args.no_remote,
+    )
+    print(format_table(rows, title="Dynamic graphs (incremental invalidation)"))
+    if args.json:
+        from .bench.record import record_benchmark
+
+        print(f"wrote {record_benchmark('dynamic', rows, path=args.json)}")
+    ok = all(r["identical"] for r in rows) and all(
+        r["speedup_vs_rebuild"] >= 5.0
+        for r in rows
+        if r["leg"] == "update_vs_rebuild"
+    )
+    return 0 if ok else 1
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
@@ -851,6 +881,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench_rm.add_argument("--json", metavar="PATH", default=None)
     p_bench_rm.set_defaults(func=_cmd_bench_remote)
+
+    p_bench_dy = bench_sub.add_parser(
+        "dynamic",
+        help="dynamic graphs: incremental update vs full rebuild+replan, "
+        "bitwise identity across shard counts and remote delta shipping",
+    )
+    p_bench_dy.add_argument("--nodes", type=int, default=20_000)
+    p_bench_dy.add_argument("--avg-degree", type=int, default=16)
+    p_bench_dy.add_argument("--dim", type=int, default=64)
+    p_bench_dy.add_argument("--rounds", type=int, default=5)
+    p_bench_dy.add_argument(
+        "--churn",
+        type=float,
+        default=0.002,
+        help="edge churn per round as a fraction of nnz",
+    )
+    p_bench_dy.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4])
+    p_bench_dy.add_argument("--pattern", default="sigmoid_embedding")
+    p_bench_dy.add_argument(
+        "--no-remote",
+        action="store_true",
+        help="skip the remote leg (worker hosts + dirty-shard delta ship)",
+    )
+    p_bench_dy.add_argument("--json", metavar="PATH", default=None)
+    p_bench_dy.set_defaults(func=_cmd_bench_dynamic)
 
     p_bench_jobs = bench_sub.add_parser(
         "jobs",

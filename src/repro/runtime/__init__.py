@@ -10,6 +10,8 @@ This package is the serving/scheduling layer above :mod:`repro.core`:
 ``workers``      persistent multiprocessing pool with shared-memory CSR
 ``codec``        transport-neutral worker protocol (specs, CSR payloads)
 ``remote``       distributed tier: TCP worker hosts + in-runtime controller
+``dynamic``      dynamic graphs: versioned delta overlays with incremental
+                 plan/panel/shard invalidation
 ``options``      :class:`RuntimeOptions` — the shared kernel-knob dataclass
 ``runtime``      :class:`KernelRuntime` — run / submit / run_batch / epochs
                  / run_sharded / submit_sharded
@@ -31,11 +33,14 @@ Typical usage::
 from .aio import run_batch_async, submit_sharded_async, wrap_runtime_future
 from .batch import KernelRequest, PackedBatch, pack_requests
 from .cache import CacheStats, PlanCache
+from .dynamic import DynamicGraph, GraphVersion, MutationResult, refresh_plan
 from .fingerprint import (
     clear_fingerprint_memo,
     derived_fingerprint,
+    fingerprint_covers,
     fingerprint_memo_info,
     matrix_fingerprint,
+    pin_fingerprint,
 )
 from .options import RuntimeOptions
 from .plan import KernelPlan, PlanKey, build_plan, pattern_key
@@ -65,8 +70,14 @@ __all__ = [
     "pack_requests",
     "pattern_key",
     "build_plan",
+    "DynamicGraph",
+    "GraphVersion",
+    "MutationResult",
+    "refresh_plan",
     "matrix_fingerprint",
     "derived_fingerprint",
+    "pin_fingerprint",
+    "fingerprint_covers",
     "fingerprint_memo_info",
     "clear_fingerprint_memo",
     "wrap_runtime_future",

@@ -137,6 +137,67 @@ class PlanCache:
             self._retained = 0
 
     # ------------------------------------------------------------------ #
+    # Fingerprint-targeted operations (dynamic graphs / leak fix)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _key_fingerprint(key: Hashable) -> str:
+        return str(getattr(key, "fingerprint", "") or "")
+
+    @staticmethod
+    def _covers(fingerprint: str, key_fp: str) -> bool:
+        """Whether ``key_fp`` belongs to ``fingerprint``'s lineage.
+
+        Matches the fingerprint itself, its derived keys
+        (``<fp>|reorder=...``) and — when given a bare lineage hash — its
+        versioned descendants (``<fp>@vN`` and their derived keys), so one
+        call can retire a whole graph or exactly one superseded version.
+        """
+        if not key_fp or not fingerprint:
+            return False
+        return (
+            key_fp == fingerprint
+            or key_fp.startswith(fingerprint + "|")
+            or key_fp.startswith(fingerprint + "@")
+        )
+
+    def evict_fingerprint(self, fingerprint: str) -> int:
+        """Drop every plan keyed on ``fingerprint`` (or a key derived from
+        it); returns the number of entries removed."""
+        with self._lock:
+            doomed = [
+                key
+                for key in self._entries
+                if self._covers(fingerprint, self._key_fingerprint(key))
+            ]
+            for key in doomed:
+                del self._entries[key]
+                self._retained -= self._weights.pop(key)
+                self._evictions += 1
+            return len(doomed)
+
+    def entries_for(self, fingerprint: str) -> Tuple[Tuple[Hashable, object], ...]:
+        """Snapshot of ``(key, plan)`` pairs in ``fingerprint``'s lineage."""
+        with self._lock:
+            return tuple(
+                (key, plan)
+                for key, plan in self._entries.items()
+                if self._covers(fingerprint, self._key_fingerprint(key))
+            )
+
+    def bytes_for(self, fingerprint: str) -> Dict[str, int]:
+        """``{"plans": n, "plan_bytes": b}`` retained for one lineage."""
+        with self._lock:
+            keys = [
+                key
+                for key in self._entries
+                if self._covers(fingerprint, self._key_fingerprint(key))
+            ]
+            return {
+                "plans": len(keys),
+                "plan_bytes": sum(self._weights[key] for key in keys),
+            }
+
+    # ------------------------------------------------------------------ #
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

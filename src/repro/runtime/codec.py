@@ -44,10 +44,13 @@ __all__ = [
     "OP_DROP",
     "OP_RUN",
     "OP_EXIT",
+    "OP_LOAD_DELTA",
     "OP_RESULT",
     "OP_ERROR",
     "encode_csr",
     "decode_csr",
+    "encode_csr_delta",
+    "splice_csr_delta",
     "plan_spec_from_plan",
     "remote_spec_meta",
     "spec_from_meta",
@@ -78,6 +81,13 @@ OP_DROP = 0x11
 OP_RUN = 0x12
 #: controller → agent: leave the serve loop
 OP_EXIT = 0x13
+#: controller → agent: cache meta["key"] by splicing dirty rows onto the
+#: already-loaded CSR under meta["base_key"] (dynamic-graph re-ship; the
+#: payload is proportional to the dirty rows, not the matrix).  Agents
+#: advertise support with ``"delta": 1`` in REGISTER; the controller
+#: falls back to a full OP_LOAD for agents that don't, or when the base
+#: was evicted (ERROR {missing_key: base_key}).
+OP_LOAD_DELTA = 0x14
 #: success reply (payload depends on the request opcode)
 OP_RESULT = 0x20
 #: failure reply: {"status", "error"} (+ "missing_key" for evicted CSRs)
@@ -115,6 +125,43 @@ def decode_csr(meta: dict, arrays: Dict[str, np.ndarray]) -> CSRMatrix:
         arrays["indices"],
         arrays["data"],
         check=False,
+    )
+
+
+def encode_csr_delta(
+    base_key: str,
+    rows: np.ndarray,
+    counts: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """A dirty-row splice as (meta, arrays) for one LOAD_DELTA payload.
+
+    ``rows``/``counts`` name the replaced rows and their new lengths;
+    ``indices``/``data`` carry the new rows' contents concatenated in row
+    order — the same arguments :func:`repro.sparse.delta.splice_rows`
+    takes, so both sides splice through the one shared primitive.
+    """
+    meta = {"base_key": str(base_key)}
+    arrays = {
+        "rows": np.ascontiguousarray(rows, dtype=np.int64),
+        "counts": np.ascontiguousarray(counts, dtype=np.int64),
+        "indices": np.ascontiguousarray(indices, dtype=np.int64),
+        "data": np.ascontiguousarray(data),
+    }
+    return meta, arrays
+
+
+def splice_csr_delta(base: CSRMatrix, arrays: Dict[str, np.ndarray]) -> CSRMatrix:
+    """Rebuild the new matrix version a LOAD_DELTA payload describes."""
+    from ..sparse.delta import splice_rows
+
+    return splice_rows(
+        base,
+        arrays["rows"],
+        arrays["counts"],
+        arrays["indices"],
+        arrays["data"],
     )
 
 

@@ -29,6 +29,8 @@ from ..sparse import CSRMatrix, as_csr
 __all__ = [
     "matrix_fingerprint",
     "derived_fingerprint",
+    "pin_fingerprint",
+    "fingerprint_covers",
     "fingerprint_memo_info",
     "clear_fingerprint_memo",
 ]
@@ -77,6 +79,29 @@ def matrix_fingerprint(A, *, use_memo: bool = True) -> str:
     return digest
 
 
+def pin_fingerprint(A, fingerprint: str) -> str:
+    """Pin an explicit fingerprint for a matrix *instance*.
+
+    The dynamic-graph tier names each materialised version with a
+    **versioned** fingerprint (``<lineage>@v<N>``) instead of a content
+    hash: the lineage is stable across compaction (same edge set, new
+    representation) and cheap to derive (no O(nnz) hashing per mutation).
+    Pinning seeds the per-instance memo, so every cache tier that calls
+    :func:`matrix_fingerprint` — plan cache, reorder memo, worker ship
+    keys, remote host LRUs — keys this instance on the versioned name.
+    The pin lives exactly as long as the instance (weakref-backed).
+    """
+    A = as_csr(A)
+    obj_id = id(A)
+    try:
+        weakref.finalize(A, _evict, obj_id)
+    except TypeError:  # pragma: no cover - non-weakref-able matrix type
+        return fingerprint
+    with _MEMO_LOCK:
+        _MEMO[obj_id] = str(fingerprint)
+    return fingerprint
+
+
 def derived_fingerprint(fingerprint: str, tag: str) -> str:
     """Key for a matrix *derived deterministically* from a fingerprinted one.
 
@@ -87,6 +112,24 @@ def derived_fingerprint(fingerprint: str, tag: str) -> str:
     fingerprint already covers.
     """
     return f"{fingerprint}|{tag}"
+
+
+def fingerprint_covers(fingerprint: str, key: str) -> bool:
+    """Whether cache/ship key ``key`` belongs to ``fingerprint``'s lineage.
+
+    True for the fingerprint itself, keys derived from it
+    (``<fp>|reorder=...``) and versioned descendants (``<fp>@vN`` plus
+    *their* derived keys).  Every tier that unships by fingerprint — plan
+    cache, worker shared memory, remote host LRUs — uses this one
+    predicate so the notion of "belongs to that graph" cannot drift.
+    """
+    if not fingerprint or not key:
+        return False
+    return (
+        key == fingerprint
+        or key.startswith(fingerprint + "|")
+        or key.startswith(fingerprint + "@")
+    )
 
 
 def fingerprint_memo_info() -> Dict[str, int]:

@@ -63,6 +63,7 @@ from ..sparse.reorder import (
     REORDER_STRATEGIES,
     PanelBlock,
     ReorderResult,
+    average_bandwidth,
     build_panels,
     cache_block_partitions,
     memoize_reorder,
@@ -137,6 +138,10 @@ class KernelPlan:
     panels: Sequence[PanelBlock] = field(default_factory=list, repr=False)
     #: measured reorder sweep (when ``reorder="auto"`` was requested)
     reorder_tuning: Optional[ReorderTuning] = None
+    #: mean |row − col| of ``reordered`` when the permutation was attached —
+    #: the dynamic-graph tier carries the permutation across mutations only
+    #: while the mutated matrix stays within a factor of this bound
+    reorder_bandwidth: Optional[float] = None
     #: times this plan has been executed
     calls: int = 0
     _calls_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
@@ -668,6 +673,7 @@ def _attach_reorder(
     plan.perm = result.perm
     plan.inv_perm = result.inv_perm
     plan.reordered = result.matrix
+    plan.reorder_bandwidth = average_bandwidth(result.matrix)
     plan.panels = build_panels(result.matrix, parts)
     plan.partitions = parts
     # One schedulable task per panel: the runtime's split path fans the
@@ -756,6 +762,7 @@ def _apply_reorder(
         plan.perm = winner.perm
         plan.inv_perm = winner.inv_perm
         plan.reordered = winner.reordered
+        plan.reorder_bandwidth = winner.reorder_bandwidth
         plan.panels = winner.panels
         plan.partitions = winner.partitions
         plan.nsplit = winner.nsplit

@@ -79,6 +79,7 @@ from .codec import (
     OP_ERROR,
     OP_EXIT,
     OP_LOAD,
+    OP_LOAD_DELTA,
     OP_PING,
     OP_REGISTER,
     OP_RESULT,
@@ -90,8 +91,11 @@ from .codec import (
     config_cache_key,
     decode_csr,
     encode_csr,
+    encode_csr_delta,
     spec_from_meta,
+    splice_csr_delta,
 )
+from .fingerprint import fingerprint_covers
 from .shard import ShardAssignment, ShardPlan, route_shards
 
 __all__ = [
@@ -215,6 +219,7 @@ class WorkerAgent:
         self.fault_plan = fault_plan
         self._injector = FaultInjector(fault_plan, log=fault_log)
         self.runs_executed = 0
+        self.delta_loads = 0
         self.reconnects = 0
         self._registered = False
         self._sock: Optional[socket.socket] = None
@@ -274,6 +279,11 @@ class WorkerAgent:
                 "slots": self.slots,
                 "threads": self.threads,
                 "pid": os.getpid(),
+                # Capability flag: this agent understands OP_LOAD_DELTA
+                # (dirty-row re-ship).  Controllers never send it to
+                # agents that didn't advertise it, so old agents keep
+                # working through full OP_LOAD re-ships.
+                "delta": 1,
             }
             if self.token is not None:
                 register_meta["token"] = self.token
@@ -385,6 +395,33 @@ class WorkerAgent:
                     key = str(meta["key"])
                     if key not in self._matrices:
                         self._matrices[key] = decode_csr(meta, arrays)
+                    self._matrices.move_to_end(key)
+                    while len(self._matrices) > self.matrix_cache:
+                        self._matrices.popitem(last=False)
+                    reply(OP_RESULT, request_id, {})
+                elif opcode == OP_LOAD_DELTA:
+                    key = str(meta["key"])
+                    base_key = str(meta["base_key"])
+                    if key not in self._matrices:
+                        base = self._matrices.get(base_key)
+                        if base is None:
+                            # Base evicted (or never shipped to this
+                            # connection): ask for a full re-ship of the
+                            # *new* key rather than guessing.
+                            reply(
+                                OP_ERROR,
+                                request_id,
+                                {
+                                    "status": 404,
+                                    "error": (
+                                        f"delta base {base_key!r} not loaded"
+                                    ),
+                                    "missing_key": base_key,
+                                },
+                            )
+                            continue
+                        self._matrices[key] = splice_csr_delta(base, arrays)
+                        self.delta_loads += 1
                     self._matrices.move_to_end(key)
                     while len(self._matrices) > self.matrix_cache:
                         self._matrices.popitem(last=False)
@@ -531,7 +568,17 @@ class WorkerAgent:
 class _RemoteHost:
     """Controller-side record of one registered worker host."""
 
-    def __init__(self, host_id, name, slots, threads, sock, rfile, address):
+    def __init__(
+        self,
+        host_id,
+        name,
+        slots,
+        threads,
+        sock,
+        rfile,
+        address,
+        supports_delta=False,
+    ):
         self.host_id = host_id
         self.name = name
         self.slots = max(int(slots), 1)
@@ -539,6 +586,8 @@ class _RemoteHost:
         self.sock = sock
         self.rfile = rfile
         self.address = address
+        #: whether the agent advertised OP_LOAD_DELTA support in REGISTER
+        self.supports_delta = bool(supports_delta)
         self.lock = threading.Lock()
         self.loaded: set = set()
         self.alive = True
@@ -714,6 +763,15 @@ class RemoteController:
         self.hedge_wins = 0
         self.hedge_errors = 0
         self.registrations_rejected = 0
+        self.delta_ships = 0
+        self.delta_fallbacks = 0
+        #: Dynamic-graph delta sources: ship key → (base ship key, splice
+        #: payload).  Small LRU — a delta is only useful while its version
+        #: is the one being executed.
+        self._delta_sources: "OrderedDict[str, Tuple[str, dict, Dict[str, np.ndarray]]]" = (
+            OrderedDict()
+        )
+        self._delta_lock = threading.Lock()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="repro-remote-accept", daemon=True
         )
@@ -809,6 +867,7 @@ class RemoteController:
                         sock=sock,
                         rfile=rfile,
                         address=address,
+                        supports_delta=bool(meta.get("delta")),
                     )
                     self._hosts[host_id] = record
                     self.hosts_admitted += 1
@@ -953,10 +1012,111 @@ class RemoteController:
     def _ensure_loaded(self, record: _RemoteHost, key: str, A: CSRMatrix) -> None:
         if key in record.loaded:
             return
+        if self._try_delta_ship(record, key):
+            record.loaded.add(key)
+            return
         meta, arrays = encode_csr(A)
         meta["key"] = key
         self._request(record, OP_LOAD, meta, arrays)
         record.loaded.add(key)
+
+    def _try_delta_ship(self, record: _RemoteHost, key: str) -> bool:
+        """Ship ``key`` as a dirty-row delta when possible.
+
+        Requires a registered delta source for ``key``, an agent that
+        advertised the capability, and the base version still resident on
+        that agent.  Any miss — old agent, evicted base, agent-side
+        error — returns ``False`` and the caller performs a full ship;
+        a transport failure propagates like any other exchange.
+        """
+        if not record.supports_delta:
+            return False
+        with self._delta_lock:
+            source = self._delta_sources.get(key)
+        if source is None:
+            return False
+        base_key, meta, arrays = source
+        if base_key not in record.loaded:
+            self.delta_fallbacks += 1
+            return False
+        reply_meta, _ = self._request(record, OP_LOAD_DELTA, meta, arrays)
+        if reply_meta.get("missing_key"):
+            # The agent evicted the base after our bookkeeping said it
+            # was resident: keep both views consistent and full-ship.
+            record.loaded.discard(base_key)
+            self.delta_fallbacks += 1
+            return False
+        self.delta_ships += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Dynamic-graph surface
+    # ------------------------------------------------------------------ #
+    def register_delta(
+        self,
+        key: str,
+        base_key: str,
+        rows: np.ndarray,
+        counts: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ) -> None:
+        """Record that ``key`` can be shipped as a splice over ``base_key``.
+
+        The next :meth:`_ensure_loaded` of ``key`` on a delta-capable host
+        that still holds ``base_key`` sends only the dirty rows (new
+        LOAD_DELTA opcode); everything else falls back to a full ship.
+        """
+        meta, arrays = encode_csr_delta(base_key, rows, counts, indices, data)
+        meta["key"] = str(key)
+        with self._delta_lock:
+            self._delta_sources[str(key)] = (str(base_key), meta, arrays)
+            while len(self._delta_sources) > 8:
+                self._delta_sources.popitem(last=False)
+
+    def drop_matrix(self, fingerprint: str) -> int:
+        """Unship every key of ``fingerprint``'s lineage from every live
+        host (and forget its delta sources); returns keys dropped.
+
+        Best-effort per host: a host that fails the exchange is marked
+        lost through the normal machinery, never retried here.
+        """
+        dropped = 0
+        with self._delta_lock:
+            for key in [
+                k
+                for k in self._delta_sources
+                if fingerprint_covers(fingerprint, k)
+                or fingerprint_covers(fingerprint, self._delta_sources[k][0])
+            ]:
+                del self._delta_sources[key]
+        for record in self.live_hosts():
+            with record.lock:
+                if not record.alive:
+                    continue
+                doomed = [
+                    key
+                    for key in record.loaded
+                    if fingerprint_covers(fingerprint, key)
+                ]
+                for key in doomed:
+                    try:
+                        self._request(
+                            record, OP_DROP, {"key": key}, None,
+                            reply_timeout=self.ping_timeout_s,
+                        )
+                    except (
+                        WorkerError,
+                        ProtocolError,
+                        ConnectionError,
+                        OSError,
+                        socket.timeout,
+                    ):
+                        self._mark_lost(record, f"drop of {key!r} failed")
+                        break
+                    record.loaded.discard(key)
+                    dropped += 1
+        return dropped
 
     def _sec_per_nnz(self, quantile: float) -> Optional[float]:
         """A quantile of the observed seconds-per-nnz throughput samples."""
@@ -1306,6 +1466,8 @@ class RemoteController:
             "hedge_wins": self.hedge_wins,
             "hedge_errors": self.hedge_errors,
             "registrations_rejected": self.registrations_rejected,
+            "delta_ships": self.delta_ships,
+            "delta_fallbacks": self.delta_fallbacks,
             **self.health.stats(),
         }
 

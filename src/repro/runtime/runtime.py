@@ -47,7 +47,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -55,7 +55,7 @@ import numpy as np
 from ..core.parallel import available_threads
 from ..core.partition import RowPartition, part1d
 from ..core.patterns import OpPattern, get_pattern
-from ..sparse import as_csr, validate_reorder
+from ..sparse import as_csr, drop_reorder_memo, validate_reorder
 from .batch import KernelRequest, pack_group_key, pack_requests
 from .cache import CacheStats, PlanCache
 from .codec import build_worker_config, remote_spec_meta
@@ -1095,6 +1095,119 @@ class KernelRuntime:
     def clear_cache(self) -> None:
         """Drop all cached plans."""
         self._cache.clear()
+
+    def release_matrix(self, fingerprint: str, *, remote: bool = True) -> Dict[str, int]:
+        """Evict every cache entry derived from ``fingerprint``'s lineage.
+
+        Cascades through all four tiers that key on matrix fingerprints:
+        cached plans, the reorder memo, worker shared-memory segments and
+        remote host LRUs.  Derived keys (``<fp>|reorder=...``) and
+        versioned descendants (``<fp>@vN``) are covered too — this is the
+        one call sites use when a graph is dropped or superseded, so no
+        tier can leak entries for matrices nothing will ask for again.
+        Returns per-tier eviction counts (for stats and tests).
+
+        ``remote=False`` skips the remote tier: the dynamic-graph path
+        keeps the superseded version on agents for one more round because
+        it is the splice base of the next dirty-shard delta ship.
+        """
+        fingerprint = str(fingerprint)
+        evicted = {
+            "plans": self._cache.evict_fingerprint(fingerprint),
+            "reorder": drop_reorder_memo(fingerprint),
+            "worker_matrices": 0,
+            "remote_matrices": 0,
+        }
+        with self._workers_lock:
+            workers = self._workers
+        if workers is not None:
+            evicted["worker_matrices"] = workers.release_fingerprint(fingerprint)
+        if remote:
+            with self._controller_lock:
+                controller = self._controller
+            if controller is not None:
+                evicted["remote_matrices"] = controller.drop_matrix(fingerprint)
+        return evicted
+
+    def plan_bytes(self, fingerprint: str) -> Dict[str, int]:
+        """Cached-plan count and retained bytes for one fingerprint lineage
+        (feeds the per-graph memory accounting on ``/statz``)."""
+        return self._cache.bytes_for(str(fingerprint))
+
+    def update_matrix(
+        self,
+        old_fingerprint: str,
+        A_new,
+        new_fingerprint: Optional[str] = None,
+        dirty_rows=None,
+        *,
+        carry_factor: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Refresh every cached plan of a mutated matrix version in place.
+
+        For each plan keyed on ``old_fingerprint`` a successor keyed on
+        the new fingerprint is built through
+        :func:`repro.runtime.dynamic.refresh_plan` — backend resolution,
+        autotune results and strategy carry over; partitions, and for
+        reordered plans the spliced permuted matrix plus the dirty panels,
+        are recomputed.  The old version's plans are evicted afterwards
+        (nothing will ask for them again).  Returns the invalidation
+        accounting, including ``derived`` entries for carried reorders so
+        the dynamic-graph tier can register permuted-space delta sources.
+        """
+        from .dynamic import DEFAULT_CARRY_FACTOR, refresh_plan
+
+        A_new = as_csr(A_new)
+        old_fingerprint = str(old_fingerprint)
+        new_fp = (
+            str(new_fingerprint) if new_fingerprint else matrix_fingerprint(A_new)
+        )
+        factor = DEFAULT_CARRY_FACTOR if carry_factor is None else float(carry_factor)
+        dirty = (
+            None
+            if dirty_rows is None
+            else np.asarray(dirty_rows, dtype=np.int64)
+        )
+        info: Dict[str, object] = {
+            "plans_refreshed": 0,
+            "panels_rebuilt": 0,
+            "panels_reused": 0,
+            "reorders_carried": 0,
+            "reorders_rebuilt": 0,
+            "derived": [],
+        }
+        carry_cache: Dict[str, object] = {}
+        seen_strategies: set = set()
+        for key, plan in self._cache.entries_for(old_fingerprint):
+            if key.fingerprint != old_fingerprint:
+                continue
+            new_key = replace(key, fingerprint=new_fp)
+            new_plan, pinfo = refresh_plan(
+                plan,
+                A_new,
+                new_key,
+                dirty,
+                split_nnz=self.split_nnz,
+                max_split=self.max_split,
+                autotune_dim=self.autotune_dim,
+                carry_factor=factor,
+                carry_cache=carry_cache,
+            )
+            self._cache.put(new_key, new_plan)
+            info["plans_refreshed"] += 1
+            info["panels_rebuilt"] += pinfo["panels_rebuilt"]
+            info["panels_reused"] += pinfo["panels_reused"]
+            if pinfo["reorder"] != "none":
+                if pinfo["carried"]:
+                    info["reorders_carried"] += 1
+                    derived = pinfo.get("derived")
+                    if derived is not None and derived["strategy"] not in seen_strategies:
+                        seen_strategies.add(derived["strategy"])
+                        info["derived"].append(derived)
+                else:
+                    info["reorders_rebuilt"] += 1
+        self._cache.evict_fingerprint(old_fingerprint)
+        return info
 
     def attach_stats_section(self, name: str, provider) -> None:
         """Merge ``provider()`` into :meth:`stats` under ``name``.

@@ -471,6 +471,31 @@ class WorkerPool:
             for i in missing:
                 self._loaded[i].add(key)
 
+    def release_fingerprint(self, fingerprint: str) -> int:
+        """Drop every registered matrix whose key belongs to
+        ``fingerprint``'s lineage (the key itself, ``<fp>|...`` derived
+        keys, ``<fp>@vN`` versioned keys); returns the number released.
+
+        The dynamic-graph tier calls this when a version is superseded or
+        a graph dropped, so dead CSRs stop pinning ``/dev/shm``.
+        """
+        from .fingerprint import fingerprint_covers
+
+        with self._lock:
+            doomed = [
+                key
+                for key in self._matrices
+                if fingerprint_covers(fingerprint, key)
+            ]
+            for key in doomed:
+                self.release_matrix(key)
+            return len(doomed)
+
+    def matrix_keys(self) -> Tuple[str, ...]:
+        """Snapshot of the registered shared-memory matrix keys."""
+        with self._lock:
+            return tuple(self._matrices.keys())
+
     @property
     def registered_matrices(self) -> int:
         """Number of matrices currently held in shared memory."""

@@ -15,7 +15,8 @@ service (the ROADMAP's "async serving beyond futures" tier):
                request
 ``server``     :class:`KernelServer` — handcrafted asyncio HTTP/1.1
                front-end (``/v1/kernel``, ``/v1/embed/<model>``,
-               ``/v1/train``, ``/v1/jobs/<id>``, ``/healthz``,
+               ``/v1/graph/<name>/edges``, ``/v1/train``,
+               ``/v1/jobs/<id>``, ``/healthz``,
                ``/statz``) with JSON and binary npy payloads; owns the
                :class:`~repro.jobs.JobManager` behind the training-job
                endpoints

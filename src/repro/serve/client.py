@@ -305,6 +305,49 @@ class ServeClient:
         return [m["name"] for m in self.statz().get("models", [])]
 
     # ------------------------------------------------------------------ #
+    # Dynamic graphs
+    # ------------------------------------------------------------------ #
+    def mutate(
+        self,
+        model: str,
+        insert: Optional[object] = None,
+        delete: Optional[object] = None,
+    ) -> Dict[str, object]:
+        """``POST /v1/graph/<model>/edges``: apply one edge batch.
+
+        ``insert`` rows are ``(u, v, weight)`` triples (weight optional,
+        defaults to 1.0); ``delete`` rows are ``(u, v)`` pairs, applied
+        before the inserts.  Returns the mutation document (new version,
+        fingerprint, per-batch counters).  Like :meth:`train`, mutations
+        bypass the retry policy: a resend after an ambiguous transport
+        failure would apply the batch — and advance the version — twice.
+        """
+        doc: Dict[str, object] = {}
+        if insert is not None:
+            doc["insert"] = np.asarray(insert, dtype=np.float64).tolist()
+        if delete is not None:
+            doc["delete"] = np.asarray(delete, dtype=np.float64).tolist()
+        body = json.dumps(doc).encode("utf-8")
+        conn = self._connection()
+        conn.request(
+            "POST",
+            f"/v1/graph/{model}/edges",
+            body=body,
+            headers={"Content-Type": _JSON},
+        )
+        response = conn.getresponse()
+        payload = response.read()
+        if response.status >= 300:
+            try:
+                message = json.loads(payload).get(
+                    "error", payload.decode("utf-8", "replace")
+                )
+            except Exception:
+                message = payload.decode("utf-8", "replace")
+            raise http_error_for_status(response.status, str(message))
+        return json.loads(payload)
+
+    # ------------------------------------------------------------------ #
     # Training jobs
     # ------------------------------------------------------------------ #
     def train(self, **spec) -> Dict[str, object]:

@@ -249,6 +249,15 @@ class ServeConfig(RuntimeOptions):
     models: Tuple[ModelSpec, ...] = field(default_factory=lambda: DEFAULT_MODELS)
     #: patterns pre-planned against every registered graph at startup
     warm_patterns: Tuple[str, ...] = ("sigmoid_embedding", "gcn", "spmm")
+    #: dynamic graphs: fold a graph's delta overlay into a fresh base CSR
+    #: once its override nonzeros exceed this fraction of the base nnz …
+    compact_delta_ratio: float = 0.25
+    #: … or once this many edge operations accumulated since the last fold
+    compact_max_log: int = 50_000
+    #: dynamic graphs: a reordered plan keeps its vertex permutation across
+    #: mutations while the permuted matrix's mean bandwidth stays within
+    #: this factor of the bandwidth measured at attach time
+    reorder_carry_factor: float = 4.0
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -291,6 +300,14 @@ class ServeConfig(RuntimeOptions):
             raise ShapeError(
                 "job_checkpoint_every and job_retries must be >= 0"
             )
+        if self.compact_delta_ratio <= 0 or self.compact_max_log < 1:
+            raise ShapeError(
+                "compact_delta_ratio must be > 0 and compact_max_log >= 1"
+            )
+        if self.reorder_carry_factor < 1.0:
+            raise ShapeError(
+                f"reorder_carry_factor must be >= 1, got {self.reorder_carry_factor}"
+            )
         names = [m.name for m in self.models]
         if len(set(names)) != len(names):
             raise ShapeError(f"duplicate model names in ServeConfig: {names}")
@@ -321,5 +338,8 @@ class ServeConfig(RuntimeOptions):
             "max_job_queue": self.max_job_queue,
             "job_checkpoint_every": self.job_checkpoint_every,
             "job_retries": self.job_retries,
+            "compact_delta_ratio": self.compact_delta_ratio,
+            "compact_max_log": self.compact_max_log,
+            "reorder_carry_factor": self.reorder_carry_factor,
             "models": [m.name for m in self.models],
         }

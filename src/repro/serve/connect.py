@@ -62,6 +62,12 @@ class Client(Protocol):
         """The server's stats snapshot."""
         ...
 
+    def mutate(self, model: str, insert=None, delete=None) -> Dict[str, object]:
+        """Apply one edge batch to a registered graph (deletes first,
+        inserts upsert); returns the mutation document.  Never retried —
+        a resend after an ambiguous failure would apply the batch twice."""
+        ...
+
     def train(self, **spec) -> Dict[str, object]:
         """Submit a training job (a :class:`~repro.jobs.JobSpec`
         document); returns ``{"job_id": ..., "state": ...}``."""

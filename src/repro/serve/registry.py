@@ -29,8 +29,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..errors import DatasetError
-from ..runtime import KernelRuntime
+from ..runtime import DynamicGraph, KernelRuntime, MutationResult
 from ..sparse import CSRMatrix
+from ..sparse.delta import CompactionPolicy
 from .config import ServeConfig
 
 __all__ = ["ModelRegistry", "RegisteredModel"]
@@ -81,9 +82,12 @@ class ModelRegistry:
             reorder="none",
         )
         self._models: Dict[str, RegisteredModel] = {}
-        self._graphs: Dict[str, CSRMatrix] = {}
+        # Every named graph is a DynamicGraph handle: static workloads see
+        # version 0 forever; ``/v1/graph/<name>/edges`` advances versions.
+        self._graphs: Dict[str, DynamicGraph] = {}
         self.loaded = False
         self.load_seconds = 0.0
+        self.runtime.attach_stats_section("graphs", self.graph_memory)
 
     # ------------------------------------------------------------------ #
     def load(self) -> "ModelRegistry":
@@ -99,7 +103,8 @@ class ModelRegistry:
             # memory before the first request needs it.
             workers = self.runtime.workers
             if workers is not None:
-                for A in self._graphs.values():
+                for g in self._graphs.values():
+                    A = g.matrix
                     if A.nnz >= self.config.shard_min_nnz:
                         self.runtime.run_sharded(
                             A,
@@ -112,7 +117,16 @@ class ModelRegistry:
 
     def register_graph(self, name: str, A: CSRMatrix) -> None:
         """Register a named adjacency and pre-plan the warm patterns."""
-        self._graphs[name] = A
+        self._graphs[name] = DynamicGraph(
+            A,
+            runtime=self.runtime,
+            policy=CompactionPolicy(
+                max_delta_ratio=self.config.compact_delta_ratio,
+                max_log=self.config.compact_max_log,
+            ),
+            carry_factor=self.config.reorder_carry_factor,
+        )
+        A = self._graphs[name].matrix
         for pattern in self.config.warm_patterns:
             try:
                 self.runtime.plan(
@@ -125,6 +139,22 @@ class ModelRegistry:
                 # A pattern incompatible with this graph shape is a
                 # request-time 400, not a startup failure.
                 continue
+
+    def drop_graph(self, name: str) -> Dict[str, int]:
+        """Unregister a graph and evict its whole cache footprint (plans,
+        reorder memo, worker shared memory, remote host LRUs)."""
+        graph = self._graphs.pop(name, None)
+        if graph is None:
+            raise DatasetError(
+                f"unknown graph {name!r}; registered: {sorted(self._graphs)}"
+            )
+        return graph.close()
+
+    def mutate_graph(self, name: str, insert=None, delete=None) -> MutationResult:
+        """Apply one edge batch to a named graph (deletes first, inserts
+        upsert).  Requests admitted before the swap keep computing on the
+        version they resolved; requests admitted after see the new one."""
+        return self.dynamic_graph(name).apply_edges(insert=insert, delete=delete)
 
     # ------------------------------------------------------------------ #
     # Lookups
@@ -140,11 +170,25 @@ class ModelRegistry:
         return self._models[name]
 
     def graph(self, name: str) -> CSRMatrix:
+        """The named graph's *current* materialised CSR.
+
+        Resolution pins the request to one immutable version: whatever the
+        caller computes with the returned matrix is read-consistent even
+        if mutations land concurrently.
+        """
+        return self.dynamic_graph(name).matrix
+
+    def dynamic_graph(self, name: str) -> DynamicGraph:
+        """The mutable handle behind a named graph."""
         if name not in self._graphs:
             raise DatasetError(
                 f"unknown graph {name!r}; registered: {sorted(self._graphs)}"
             )
         return self._graphs[name]
+
+    def graph_memory(self) -> Dict[str, Dict[str, object]]:
+        """Per-graph byte accounting (the ``graphs`` section of stats)."""
+        return {name: g.memory() for name, g in sorted(self._graphs.items())}
 
     def embeddings(self, name: str, ids: Optional[np.ndarray] = None) -> np.ndarray:
         """Rows of ``name``'s servable output (all rows when ``ids=None``)."""

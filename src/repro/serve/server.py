@@ -32,6 +32,15 @@ Endpoints
 ``POST /v1/embed/<model>`` / ``GET /v1/embed/<model>?ids=0,5,7``
     Rows of a registered model's servable output matrix (embeddings,
     positions or class probabilities).
+``POST /v1/graph/<name>/edges``
+    Live edge updates against a registered graph::
+
+        {"insert": [[u, v, weight], ...],   # upsert; weight optional→1.0
+         "delete": [[u, v], ...]}           # applied before inserts
+
+    Returns the new version + fingerprint and per-batch counters.  The
+    delta-CSR overlay advances atomically: requests admitted before the
+    swap keep computing on the version they resolved.
 
 Status mapping: admission queue full → 429, draining → 503, deadline
 expired → 504, malformed payloads/unknown names → 400/404, oversized
@@ -348,6 +357,8 @@ class KernelServer:
                 return self._handle_train(request)
             if request.path == "/v1/jobs" or request.path.startswith("/v1/jobs/"):
                 return self._handle_jobs(request)
+            if request.path.startswith("/v1/graph/"):
+                return await self._handle_graph(request)
             return 404, _error_body(404, f"no route for {request.path}"), _JSON
         except ProtocolError as exc:
             return exc.status, _error_body(exc.status, str(exc)), _JSON
@@ -477,6 +488,37 @@ class KernelServer:
             }
         )
         return 200, body, _JSON
+
+    # ------------------------------------------------------------------ #
+    # Dynamic graphs
+    # ------------------------------------------------------------------ #
+    async def _handle_graph(self, request: HTTPRequest) -> Tuple[int, bytes, str]:
+        """``POST /v1/graph/<name>/edges``: apply one edge batch.
+
+        The splice + plan refresh runs on a worker thread (serialised by
+        the graph's write lock) so concurrent reads — which resolved
+        their version at admission — keep flowing on the event loop.
+        """
+        rest = request.path[len("/v1/graph/") :]
+        name, _, tail = rest.rpartition("/")
+        if tail != "edges" or not name:
+            return 404, _error_body(404, f"no route for {request.path}"), _JSON
+        if request.method != "POST":
+            return 405, _error_body(405, "POST required"), _JSON
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise ProtocolError("mutation body must be a JSON object")
+        insert = payload.get("insert")
+        delete = payload.get("delete")
+        if insert is None and delete is None:
+            raise ProtocolError(
+                "mutation needs 'insert' ([[u, v, w], ...]) and/or "
+                "'delete' ([[u, v], ...])"
+            )
+        result = await asyncio.to_thread(
+            self.registry.mutate_graph, name, insert, delete
+        )
+        return 200, _json_body({"graph": name, **result.as_dict()}), _JSON
 
     # ------------------------------------------------------------------ #
     # Training jobs

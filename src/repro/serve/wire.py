@@ -73,6 +73,7 @@ __all__ = [
     "OP_STATZ",
     "OP_TRAIN",
     "OP_JOB",
+    "OP_MUTATE",
     "OP_RESULT",
     "OP_ERROR",
     "FRAME_HEADER",
@@ -93,10 +94,11 @@ OP_EMBED = 0x11
 OP_STATZ = 0x12
 OP_TRAIN = 0x13
 OP_JOB = 0x14
+OP_MUTATE = 0x15
 OP_RESULT = 0x20
 OP_ERROR = 0x21
 
-_REQUEST_OPS = (OP_KERNEL, OP_EMBED, OP_STATZ, OP_TRAIN, OP_JOB)
+_REQUEST_OPS = (OP_KERNEL, OP_EMBED, OP_STATZ, OP_TRAIN, OP_JOB, OP_MUTATE)
 
 #: The frame codec of this protocol.  Mechanics (header layout, payload
 #: container, blocking/async readers) live in :mod:`repro.framing` and are
@@ -323,6 +325,9 @@ class WireServer:
             elif opcode == OP_JOB:
                 self.frames_served += 1
                 body = self._handle_job(meta)
+            elif opcode == OP_MUTATE:
+                body = await self._handle_mutate(meta, arrays)
+                self.frames_served += 1
             else:
                 if opcode == OP_KERNEL:
                     result = await self._handle_kernel(meta, arrays)
@@ -392,6 +397,32 @@ class WireServer:
                 {"status": 200, "shape": list(rows.shape)}, {"z": rows}
             )
         raise ProtocolError(f"unknown job action {action!r}")
+
+    async def _handle_mutate(
+        self, meta: dict, arrays: Dict[str, np.ndarray]
+    ) -> bytes:
+        """``OP_MUTATE``: apply one edge batch to a registered graph.
+
+        The mutation itself is CPU work behind the graph's write lock, so
+        it runs on a worker thread — the event loop keeps serving reads
+        pinned to the pre-mutation version while the new one builds.
+        """
+        model = meta.get("model")
+        if not model:
+            raise ProtocolError("mutate frame needs 'model'")
+        insert = arrays.get("insert")
+        delete = arrays.get("delete")
+        if insert is None and delete is None:
+            raise ProtocolError(
+                "mutate frame needs an 'insert' (n,3) and/or 'delete' (n,2) "
+                "array"
+            )
+        result = await asyncio.to_thread(
+            self._owner.registry.mutate_graph, str(model), insert, delete
+        )
+        return encode_payload(
+            {"status": 200, "graph": str(model), **result.as_dict()}
+        )
 
     # ------------------------------------------------------------------ #
     def _resolve_adjacency(
@@ -655,6 +686,24 @@ class WireClient:
             meta["job_id"] = job_id
         return self._send(OP_JOB, meta, {})
 
+    def send_mutate(
+        self,
+        model: str,
+        insert: Optional[object] = None,
+        delete: Optional[object] = None,
+    ) -> int:
+        """Pipeline one edge-batch mutation; returns its request-id.
+
+        ``insert`` rows are ``(u, v, weight)`` triples; ``delete`` rows
+        are ``(u, v)`` pairs.  Endpoints must be integer-valued.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        if insert is not None:
+            arrays["insert"] = np.asarray(insert, dtype=np.float64).reshape(-1, 3)
+        if delete is not None:
+            arrays["delete"] = np.asarray(delete, dtype=np.float64).reshape(-1, 2)
+        return self._send(OP_MUTATE, {"model": model}, arrays)
+
     def recv(self) -> Tuple[int, object]:
         """The next response in completion order.
 
@@ -753,6 +802,25 @@ class WireClient:
         ambiguous failure could start the job twice.
         """
         value = self._wait_for(self.send_train(**spec))
+        if isinstance(value, Exception):
+            raise value
+        return dict(value)
+
+    def mutate(
+        self,
+        model: str,
+        insert: Optional[object] = None,
+        delete: Optional[object] = None,
+    ) -> dict:
+        """Apply one edge batch to a registered graph; returns the
+        mutation document (new version, fingerprint, edge counts).
+
+        Like :meth:`train`, deliberately *not* retried on transport
+        failure: a resend after an ambiguous failure would apply the
+        batch twice (inserts upsert, but deletes-then-reinserts and the
+        version counter are not idempotent).
+        """
+        value = self._wait_for(self.send_mutate(model, insert, delete))
         if isinstance(value, Exception):
             raise value
         return dict(value)

@@ -22,6 +22,7 @@ Public names
 from .coo import COOMatrix
 from .csr import CSRMatrix
 from .convert import as_coo, as_csr, from_networkx
+from .delta import CompactionPolicy, DeltaCSR, EdgeBatchResult, splice_rows
 from .io import read_matrix_market, write_matrix_market
 from .random import banded_csr, block_diagonal_csr, random_bipartite, random_csr
 from .reorder import (
@@ -29,11 +30,14 @@ from .reorder import (
     REORDER_STRATEGIES,
     PanelBlock,
     ReorderResult,
+    average_bandwidth,
     build_panels,
     cache_block_partitions,
     clear_reorder_memo,
+    drop_reorder_memo,
     permute_symmetric,
     reorder_matrix,
+    reorder_memo_bytes,
     reorder_memo_info,
     reorder_permutation,
     validate_reorder,
@@ -42,6 +46,10 @@ from .reorder import (
 __all__ = [
     "COOMatrix",
     "CSRMatrix",
+    "CompactionPolicy",
+    "DeltaCSR",
+    "EdgeBatchResult",
+    "splice_rows",
     "as_coo",
     "as_csr",
     "from_networkx",
@@ -61,6 +69,9 @@ __all__ = [
     "permute_symmetric",
     "reorder_matrix",
     "reorder_memo_info",
+    "reorder_memo_bytes",
     "clear_reorder_memo",
+    "drop_reorder_memo",
+    "average_bandwidth",
     "cache_block_partitions",
 ]

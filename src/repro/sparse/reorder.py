@@ -61,7 +61,10 @@ __all__ = [
     "permute_symmetric",
     "reorder_matrix",
     "reorder_memo_info",
+    "reorder_memo_bytes",
     "clear_reorder_memo",
+    "drop_reorder_memo",
+    "average_bandwidth",
     "cache_block_partitions",
     "build_panels",
     "DEFAULT_PANEL_BUDGET_BYTES",
@@ -356,6 +359,59 @@ def clear_reorder_memo() -> None:
     """Drop every memoised reordering (mainly for tests)."""
     with _MEMO_LOCK:
         _MEMO.clear()
+
+
+def _memo_key_covers(fingerprint: str, memo_key: str) -> bool:
+    """Whether ``memo_key`` belongs to ``fingerprint``'s lineage (the key
+    itself, derived ``<fp>|...`` keys, or versioned ``<fp>@vN`` keys)."""
+    return (
+        memo_key == fingerprint
+        or memo_key.startswith(fingerprint + "|")
+        or memo_key.startswith(fingerprint + "@")
+    )
+
+
+def drop_reorder_memo(fingerprint: str) -> int:
+    """Evict every memoised reordering of ``fingerprint``'s lineage.
+
+    Called when a graph is dropped or a version superseded, so permuted
+    copies of dead matrices stop pinning the memo's byte budget.  Returns
+    the number of entries removed.
+    """
+    if not fingerprint:
+        return 0
+    with _MEMO_LOCK:
+        doomed = [
+            key for key in _MEMO if _memo_key_covers(fingerprint, key[0])
+        ]
+        for key in doomed:
+            del _MEMO[key]
+        return len(doomed)
+
+
+def reorder_memo_bytes(fingerprint: Optional[str] = None) -> int:
+    """Retained bytes of the memo — all entries, or one lineage's."""
+    with _MEMO_LOCK:
+        return sum(
+            _result_bytes(result)
+            for key, result in _MEMO.items()
+            if fingerprint is None or _memo_key_covers(fingerprint, key[0])
+        )
+
+
+def average_bandwidth(A: CSRMatrix) -> float:
+    """Mean ``|row - column|`` distance over the stored edges.
+
+    The locality metric the dynamic-graph tier watches: a permutation
+    computed for one version keeps paying off while the permuted matrix's
+    bandwidth stays near what it was when the permutation was tuned.
+    Deterministic (pure structure, no timing), so carry decisions cannot
+    flap between runs.
+    """
+    if A.nnz == 0:
+        return 0.0
+    rows = np.repeat(np.arange(A.nrows, dtype=np.int64), np.diff(A.indptr))
+    return float(np.abs(rows - A.indices).mean())
 
 
 # ---------------------------------------------------------------------- #
